@@ -1,0 +1,63 @@
+"""Bisection bandwidth methodology (paper §V, "Bisection bandwidth").
+
+Reproduces the paper's fairness procedure: empirical minimum bisection
+via max-flow over random balanced bipartitions (50 per topology in
+full mode), averaged over independently generated random topologies,
+and the derived ODM channel factor that bandwidth-matches the mesh to
+String Figure.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scale
+
+from repro.analysis.bisection import empirical_bisection, matched_channels
+from repro.topologies.registry import make_topology
+
+NUM_NODES = scale(64, 144)
+PARTITIONS = scale(12, 50)
+TOPOLOGY_SAMPLES = scale(3, 20)
+DESIGNS = ("DM", "FB", "AFB", "S2", "SF", "Jellyfish")
+
+
+def reproduce_bisection() -> dict[str, float]:
+    values: dict[str, float] = {}
+    for name in DESIGNS:
+        total = 0.0
+        for sample in range(TOPOLOGY_SAMPLES):
+            topo = make_topology(name, NUM_NODES, seed=50 + sample)
+            total += empirical_bisection(
+                topo.graph(), partitions=PARTITIONS, seed=sample
+            )
+        values[name] = total / TOPOLOGY_SAMPLES
+    return values
+
+
+def test_bisection_bandwidth(benchmark, record_result):
+    values = benchmark.pedantic(reproduce_bisection, rounds=1, iterations=1)
+    sf = make_topology("SF", NUM_NODES, seed=50)
+    dm = make_topology("DM", NUM_NODES, seed=50)
+    channels = matched_channels(
+        sf.graph(), dm.graph(), partitions=PARTITIONS, seed=0
+    )
+    rows = [[name, f"{values[name]:.1f}"] for name in DESIGNS]
+    rows.append(["ODM channel factor", str(channels)])
+    print_table(
+        f"Empirical bisection bandwidth at N={NUM_NODES} "
+        f"({PARTITIONS} partitions x {TOPOLOGY_SAMPLES} topologies)",
+        ["design", "min max-flow"],
+        rows,
+    )
+    record_result(
+        "bisection", {"values": values, "odm_channels": channels}
+    )
+
+    # FB is the bandwidth king (it simply has many more links).
+    assert values["FB"] == max(values.values())
+    # SF and S2 are equivalent graphs at full scale.
+    assert abs(values["SF"] - values["S2"]) / values["S2"] < 0.10
+    # The mesh needs widening to match SF — the whole reason ODM exists.
+    assert values["DM"] < values["SF"]
+    assert channels >= 2
+    # Random-graph designs land in the same bandwidth class.
+    assert abs(values["SF"] - values["Jellyfish"]) / values["Jellyfish"] < 0.35

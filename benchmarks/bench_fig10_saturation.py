@@ -1,0 +1,96 @@
+"""Figure 10 — network saturation injection rate versus scale.
+
+Paper findings reproduced:
+
+* the mesh designs (DM, then ODM) saturate first, and their saturation
+  point collapses as the network grows;
+* at the very smallest scale ODM can edge out SF (the paper calls this
+  out explicitly), but SF scales far better;
+* SF stays close to the best of the other architectures across
+  uniform random, hotspot and tornado traffic;
+* hotspot traffic saturates everyone early (a single destination's
+  ports bound throughput) — mesh tolerates it comparatively well.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scale
+
+from repro.analysis.saturation import find_saturation
+from repro.topologies.registry import make_policy, make_topology
+from repro.traffic.patterns import make_pattern
+
+SIZES = scale([16, 36, 64], [16, 36, 64, 128, 256])
+DESIGNS = ("DM", "ODM", "S2", "SF")
+PATTERNS = ("uniform_random", "tornado", "hotspot")
+
+
+def saturation_point(name: str, n: int, pattern_name: str) -> float | None:
+    try:
+        topo = make_topology(name, n, seed=4)
+    except ValueError:
+        return None
+    policy = make_policy(topo)
+    pattern = make_pattern(pattern_name, topo.active_nodes)
+    return find_saturation(
+        topo,
+        policy,
+        pattern,
+        warmup=scale(120, 200),
+        measure=scale(300, 500),
+        drain_limit=scale(8000, 20000),
+        resolution=scale(0.1, 0.05),
+        seed=2,
+    )
+
+
+def reproduce_figure10() -> dict[str, dict[str, dict[int, float | None]]]:
+    return {
+        pattern: {
+            name: {n: saturation_point(name, n, pattern) for n in SIZES}
+            for name in DESIGNS
+        }
+        for pattern in PATTERNS
+    }
+
+
+def test_figure10_saturation(benchmark, record_result):
+    data = benchmark.pedantic(reproduce_figure10, rounds=1, iterations=1)
+    for pattern in PATTERNS:
+        rows = []
+        for n in SIZES:
+            row = [n]
+            for name in DESIGNS:
+                value = data[pattern][name][n]
+                row.append("-" if value is None else f"{value:.2f}")
+            rows.append(row)
+        print_table(
+            f"Figure 10 ({pattern}): saturation injection rate vs N",
+            ["N", *DESIGNS],
+            rows,
+        )
+    record_result("fig10_saturation", data)
+
+    uniform = data["uniform_random"]
+    largest = SIZES[-1]
+    # Mesh saturates first at scale under uniform random traffic.
+    assert uniform["SF"][largest] >= uniform["DM"][largest]
+    # SF's saturation point degrades more slowly than the mesh's.
+    dm_drop = uniform["DM"][16] - uniform["DM"][largest]
+    sf_drop = uniform["SF"][16] - uniform["SF"][largest]
+    assert sf_drop <= dm_drop + 0.10
+    # SF tracks S2-ideal across patterns and scales.
+    for pattern in PATTERNS:
+        for n in SIZES:
+            sf = data[pattern]["SF"][n]
+            s2 = data[pattern]["S2"][n]
+            assert abs(sf - s2) <= 0.25, (pattern, n, sf, s2)
+    # Hotspot saturates dramatically earlier than uniform random.
+    for name in DESIGNS:
+        assert (
+            data["hotspot"][name][largest]
+            <= data["uniform_random"][name][largest]
+        )
+    benchmark.extra_info["uniform_at_largest"] = {
+        name: uniform[name][largest] for name in DESIGNS
+    }

@@ -1,0 +1,114 @@
+"""Figure 11 — average packet latency versus injection rate.
+
+Latency-versus-offered-load curves per traffic pattern at a sub-
+thousand-node scale, for ODM, AFB, S2-ideal and SF.  Reproduced
+findings:
+
+* every curve is flat near zero load and turns upward approaching
+  saturation;
+* S2/SF show almost no degradation until far higher injection rates
+  than the mesh;
+* on *nearest neighbor* traffic the mesh wins — its id-neighbors are
+  physically one hop apart, SF's are not (the paper highlights this
+  exception);
+* SF tracks S2-ideal closely everywhere.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scale
+
+from repro.topologies.registry import make_policy, make_topology
+from repro.traffic.injection import run_synthetic
+from repro.traffic.patterns import make_pattern
+
+NUM_NODES = scale(64, 256)
+DESIGNS = ("ODM", "AFB", "S2", "SF")
+PATTERNS = ("uniform_random", "tornado", "neighbor", "complement")
+RATES = scale(
+    (0.05, 0.15, 0.30, 0.45, 0.60),
+    (0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70),
+)
+SATURATED = float("inf")
+
+
+def latency_curve(name: str, pattern_name: str) -> dict[float, float]:
+    topo = make_topology(name, NUM_NODES, seed=4)
+    policy = make_policy(topo)
+    pattern = make_pattern(pattern_name, topo.active_nodes)
+    curve: dict[float, float] = {}
+    for rate in RATES:
+        stats = run_synthetic(
+            topo,
+            policy,
+            pattern,
+            rate,
+            warmup=scale(150, 250),
+            measure=scale(400, 700),
+            drain_limit=scale(8000, 20000),
+            seed=6,
+        )
+        if stats.accepted_rate < 0.95 or stats.measured_delivered == 0:
+            curve[rate] = SATURATED
+        else:
+            curve[rate] = stats.avg_latency
+    return curve
+
+
+def reproduce_figure11() -> dict[str, dict[str, dict[float, float]]]:
+    return {
+        pattern: {name: latency_curve(name, pattern) for name in DESIGNS}
+        for pattern in PATTERNS
+    }
+
+
+def _fmt(value: float) -> str:
+    return "sat" if value == SATURATED else f"{value:.1f}"
+
+
+def test_figure11_latency(benchmark, record_result):
+    data = benchmark.pedantic(reproduce_figure11, rounds=1, iterations=1)
+    for pattern in PATTERNS:
+        rows = [
+            [f"{rate:.2f}"]
+            + [_fmt(data[pattern][name][rate]) for name in DESIGNS]
+            for rate in RATES
+        ]
+        print_table(
+            f"Figure 11 ({pattern}, N={NUM_NODES}): avg latency (cycles) "
+            "vs injection rate",
+            ["rate", *DESIGNS],
+            rows,
+        )
+    record_result(
+        "fig11_latency",
+        {
+            p: {d: {str(r): v for r, v in c.items()} for d, c in row.items()}
+            for p, row in data.items()
+        },
+    )
+
+    low = RATES[0]
+    for pattern in PATTERNS:
+        for name in DESIGNS:
+            curve = data[pattern][name]
+            # Zero-load region exists and is finite.
+            assert curve[low] != SATURATED, (pattern, name)
+            # Latency never *improves* materially with offered load;
+            # designs that never congest (mesh under neighbor traffic)
+            # may stay flat within noise.
+            finite = [curve[r] for r in RATES if curve[r] != SATURATED]
+            assert finite[-1] >= finite[0] - 2.0
+    uniform = data["uniform_random"]
+    # SF sustains higher load than the mesh before saturating.
+    sf_sat = sum(1 for r in RATES if uniform["SF"][r] != SATURATED)
+    odm_sat = sum(1 for r in RATES if uniform["ODM"][r] != SATURATED)
+    assert sf_sat >= odm_sat
+    # The paper's nearest-neighbor exception: mesh beats SF there.
+    neighbor = data["neighbor"]
+    assert neighbor["ODM"][low] <= neighbor["SF"][low]
+    # SF tracks S2-ideal at low load.
+    for pattern in PATTERNS:
+        sf = data[pattern]["SF"][low]
+        s2 = data[pattern]["S2"][low]
+        assert abs(sf - s2) / s2 < 0.25, (pattern, sf, s2)

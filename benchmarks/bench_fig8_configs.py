@@ -1,0 +1,64 @@
+"""Figure 8 (configuration table) — evaluated topologies per scale.
+
+Regenerates the paper's configuration matrix: for each network scale,
+which topologies are constructible and with how many router ports.
+Prime node counts (17, 61, 113) are exactly the scales where the grid
+topologies show "N" (unsupported) in the paper while SF/S2/Jellyfish
+build fine — the *arbitrary network scale* design goal.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scale
+
+from repro.topologies.registry import figure8_ports, make_topology
+
+SIZES = scale([16, 17, 61, 64, 113, 128, 256], [16, 17, 32, 61, 64, 113, 128, 256, 512, 1024, 1296])
+DESIGNS = ("DM", "ODM", "FB", "AFB", "S2", "SF")
+
+
+def reproduce_figure8() -> dict[str, dict[int, int | None]]:
+    table: dict[str, dict[int, int | None]] = {name: {} for name in DESIGNS}
+    for name in DESIGNS:
+        for n in SIZES:
+            try:
+                topo = make_topology(name, n, seed=1)
+            except ValueError:
+                table[name][n] = None
+                continue
+            table[name][n] = (
+                topo.num_ports if hasattr(topo, "num_ports") else topo.radix
+            )
+    return table
+
+
+def test_figure8_configurations(benchmark, record_result):
+    table = benchmark.pedantic(reproduce_figure8, rounds=1, iterations=1)
+    rows = []
+    for name in DESIGNS:
+        row = [name]
+        for n in SIZES:
+            p = table[name][n]
+            row.append("N" if p is None else str(p))
+        rows.append(row)
+    print_table(
+        "Figure 8: router ports per design per scale ('N' = unsupported)",
+        ["design", *map(str, SIZES)],
+        rows,
+    )
+    record_result("fig8_configs", table)
+
+    # Arbitrary scale: SF and S2 build at every size, including primes.
+    for n in SIZES:
+        assert table["SF"][n] is not None
+        assert table["S2"][n] is not None
+        assert table["SF"][n] == figure8_ports(n)
+    # Grid topologies cannot build prime scales (paper's "N" entries).
+    for n in (17, 61, 113):
+        if n in SIZES:
+            assert table["DM"][n] is None
+            assert table["FB"][n] is None
+    # FB's radix grows with scale; SF's stays on the 4/8 schedule.
+    supported_fb = [p for p in table["FB"].values() if p is not None]
+    assert max(supported_fb) > min(supported_fb)
+    assert set(table["SF"].values()) <= {4, 8}

@@ -1,0 +1,78 @@
+"""Processor placement sensitivity (paper §IV-C and §VI).
+
+"By tuning traffic patterns of our synthetic workloads, our evaluation
+examines ways of injecting memory traffic from various locations, such
+as corner memory nodes, subset of memory nodes, random memory nodes,
+and all memory nodes."
+
+For each attachment strategy the bench injects uniform-random traffic
+from only the attached nodes and reports latency at a fixed per-source
+rate.  Expected shape: String Figure's random topology is location-
+oblivious — corner, spread-subset and random attachments see nearly the
+same latency (no privileged positions), unlike grid topologies where
+corner placement is the worst case.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scale
+
+from repro.topologies.registry import make_policy, make_topology
+from repro.traffic.injection import run_synthetic
+from repro.traffic.patterns import make_pattern
+from repro.traffic.sources import SOURCE_STRATEGIES, select_sources
+
+NUM_NODES = scale(64, 256)
+RATE = 0.3  # per attached source
+SOCKETS = 4
+
+
+def latency_for(topo_name: str, strategy: str) -> float:
+    topo = make_topology(topo_name, NUM_NODES, seed=8)
+    policy = make_policy(topo)
+    sources = select_sources(topo, strategy, count=SOCKETS, seed=1)
+    pattern = make_pattern("uniform_random", topo.active_nodes)
+    stats = run_synthetic(
+        topo,
+        policy,
+        pattern,
+        RATE,
+        warmup=scale(150, 250),
+        measure=scale(500, 900),
+        sources=sources,
+        seed=3,
+    )
+    return stats.avg_latency
+
+
+def reproduce_placement_study() -> dict[str, dict[str, float]]:
+    return {
+        name: {s: latency_for(name, s) for s in SOURCE_STRATEGIES}
+        for name in ("SF", "DM")
+    }
+
+
+def test_processor_placement(benchmark, record_result):
+    data = benchmark.pedantic(reproduce_placement_study, rounds=1, iterations=1)
+    rows = [
+        [name] + [f"{data[name][s]:.1f}" for s in SOURCE_STRATEGIES]
+        for name in data
+    ]
+    print_table(
+        f"Processor placement: avg latency (cycles) by attachment "
+        f"strategy (N={NUM_NODES}, {SOCKETS} sockets @ {RATE:.0%})",
+        ["design", *SOURCE_STRATEGIES],
+        rows,
+    )
+    record_result("processor_placement", data)
+
+    sf = data["SF"]
+    # Location obliviousness: every 4-socket attachment within ~15% of
+    # each other on SF.
+    four_socket = [sf["corner"], sf["subset"], sf["random"]]
+    assert max(four_socket) <= 1.15 * min(four_socket)
+    # The mesh punishes corner placement relative to a spread subset.
+    dm = data["DM"]
+    assert dm["corner"] >= 0.95 * dm["subset"]
+    # SF serves concentrated injection at least as well as the mesh.
+    assert sf["corner"] <= dm["corner"] * 1.05

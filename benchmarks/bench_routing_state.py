@@ -1,0 +1,51 @@
+"""Routing-state scaling (paper §III-B overhead claim).
+
+Regenerates the storage-overhead argument that motivates the hybrid
+compute+table design: per-router routing state for k-shortest-path
+forwarding grows superlinearly in N (Jellyfish's drawback in a memory
+network), destination-indexed minimal tables grow linearly, while
+String Figure's p(p+1)-entry table is constant — a few hundred bytes
+regardless of scale.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scale
+
+from repro.analysis.routing_state import state_scaling_table
+
+SIZES = scale([64, 128, 256, 512], [64, 128, 256, 512, 1024, 1296])
+
+
+def test_routing_state_scaling(benchmark, record_result):
+    table = benchmark.pedantic(
+        state_scaling_table, args=(SIZES,), rounds=1, iterations=1
+    )
+    rows = [
+        [n, f"{table['sf'][n]:.2f}", f"{table['minimal'][n]:.2f}",
+         f"{table['ksp'][n]:.2f}"]
+        for n in SIZES
+    ]
+    print_table(
+        "Routing state per router (KB) vs network size (p=8, k=4)",
+        ["N", "SF p(p+1) table", "minimal table", "k-shortest paths"],
+        rows,
+    )
+    record_result(
+        "routing_state",
+        {s: {str(n): v for n, v in row.items()} for s, row in table.items()},
+    )
+
+    smallest, largest = SIZES[0], SIZES[-1]
+    # SF state is constant in N (only the node-id width creeps up).
+    assert table["sf"][largest] <= table["sf"][smallest] * 1.5
+    # Table-based schemes grow at least linearly.
+    growth = largest / smallest
+    assert table["minimal"][largest] >= table["minimal"][smallest] * growth * 0.8
+    assert table["ksp"][largest] >= table["ksp"][smallest] * growth * 0.8
+    # The gap between k-shortest-path state and SF's table widens with
+    # scale (constant versus O(N log N) per router).
+    ratio_small = table["ksp"][smallest] / table["sf"][smallest]
+    ratio_large = table["ksp"][largest] / table["sf"][largest]
+    assert ratio_large > 4 * ratio_small
+    assert table["ksp"][largest] > 4 * table["sf"][largest]

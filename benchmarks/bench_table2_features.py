@@ -1,0 +1,87 @@
+"""Table II — network design features and requirements.
+
+Regenerates the qualitative feature matrix from the implementations
+themselves (not hand-written constants): does the design need
+high-radix routers, does the router port count scale with N, and does
+it support reconfigurable (elastic) network scaling?
+
+========  ===============  =============  =========================
+design    high-radix?      port scaling?  reconfigurable scaling?
+ODM       No               No             No
+AFB       Yes              Yes            No
+S2-ideal  No               No             No
+SF        No               No             Yes
+========  ===============  =============  =========================
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.topologies.registry import make_topology
+
+HIGH_RADIX_THRESHOLD = 10  # ports; 4-8 is commodity for on-stack routers
+
+
+def measured_radix(name: str, n: int) -> int:
+    """Radix the design *requires* at scale n.
+
+    SF/S2 accept any port budget at any scale (we hold the request at
+    4 to probe whether scaling *forces* radix growth); grid designs
+    have structurally determined radix.
+    """
+    if name in ("SF", "S2"):
+        topo = make_topology(name, n, seed=1, ports=4)
+        return topo.num_ports
+    topo = make_topology(name, n, seed=1)
+    return topo.radix
+
+
+def reproduce_table2() -> dict[str, dict[str, object]]:
+    sizes = (64, 256)
+    table = {}
+    for name in ("ODM", "AFB", "S2", "SF"):
+        radixes = {n: measured_radix(name, n) for n in sizes}
+        topo = make_topology(name, 64, seed=1)
+        table[name] = {
+            "high_radix": max(radixes.values()) > HIGH_RADIX_THRESHOLD,
+            "port_scaling": radixes[256] > radixes[64] + 1,
+            "reconfigurable": bool(getattr(topo, "reconfigurable", False)),
+            "radix_at_64": radixes[64],
+            "radix_at_256": radixes[256],
+        }
+    return table
+
+
+def test_table2_features(benchmark, record_result):
+    table = benchmark.pedantic(reproduce_table2, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            "Yes" if row["high_radix"] else "No",
+            "Yes" if row["port_scaling"] else "No",
+            "Yes" if row["reconfigurable"] else "No",
+            f"{row['radix_at_64']}/{row['radix_at_256']}",
+        ]
+        for name, row in table.items()
+    ]
+    print_table(
+        "Table II: topology features (measured from implementations)",
+        ["design", "high-radix?", "port scaling?", "reconfig?", "p@64/256"],
+        rows,
+    )
+    record_result("table2_features", table)
+
+    # The paper's Table II rows, verified structurally:
+    assert not table["ODM"]["high_radix"]
+    assert not table["ODM"]["port_scaling"]
+    assert not table["ODM"]["reconfigurable"]
+    assert table["AFB"]["high_radix"]
+    assert table["AFB"]["port_scaling"]
+    assert not table["AFB"]["reconfigurable"]
+    assert not table["S2"]["high_radix"]
+    assert not table["S2"]["port_scaling"]
+    assert not table["S2"]["reconfigurable"]
+    assert not table["SF"]["high_radix"]
+    assert not table["SF"]["port_scaling"]
+    assert table["SF"]["reconfigurable"]

@@ -1,0 +1,109 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Each ``bench_*.py`` module regenerates one table or figure of the
+paper's evaluation and prints the reproduced rows/series; shape
+assertions guard the qualitative conclusions (who wins, by roughly what
+factor).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Scale control: set ``REPRO_BENCH_SCALE=full`` for paper-scale sweeps
+(up to 1296 nodes — slow); the default ``quick`` mode keeps every
+experiment's structure but trims node counts and sample sizes so the
+whole harness finishes in minutes.  Results are also dumped as JSON
+under ``benchmarks/results/`` for EXPERIMENTS.md bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_BENCH_SCALE", "quick").lower() == "full"
+
+
+def scale(quick, full):
+    """Pick the quick or full variant of an experiment parameter."""
+    return full if FULL else quick
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Persist a figure's reproduced data as JSON for EXPERIMENTS.md."""
+
+    def _record(name: str, data) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.json"
+        with open(path, "w") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def workload_results():
+    """Shared trace-driven runs used by Figure 12(a) and 12(b).
+
+    Returns ``{workload: {topology: WorkloadResult}}`` plus the node
+    count and radix map, computed once per session.
+    """
+    from repro.topologies.registry import make_policy, make_topology
+    from repro.workloads.runner import run_workload
+    from repro.workloads.trace import collect_trace
+
+    num_nodes = scale(64, 256)
+    trace_size = scale(2000, 8000)
+    workloads = (
+        "wordcount",
+        "grep",
+        "sort",
+        "pagerank",
+        "redis",
+        "memcached",
+        "matmul",
+        "kmeans",
+    )
+    topologies = ("DM", "ODM", "AFB", "S2", "SF")
+    results: dict[str, dict[str, object]] = {}
+    radix: dict[str, int] = {}
+    for workload in workloads:
+        trace = collect_trace(
+            workload,
+            max_memory_accesses=trace_size,
+            scale=0.02,
+            seed=7,
+            max_cpu_accesses=300_000,
+        )
+        results[workload] = {}
+        for name in topologies:
+            topo = make_topology(name, num_nodes, seed=3)
+            radix[name] = (
+                topo.num_ports if hasattr(topo, "num_ports") else topo.radix
+            )
+            results[workload][name] = run_workload(
+                topo, make_policy(topo), trace
+            )
+    return {
+        "results": results,
+        "radix": radix,
+        "num_nodes": num_nodes,
+        "topologies": topologies,
+        "workloads": workloads,
+    }
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Render one reproduced figure/table to stdout."""
+    print(f"\n### {title}")
+    widths = [
+        max(len(str(header[i])), max((len(f"{r[i]}") for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(f"{c}".rjust(w) for c, w in zip(row, widths)))

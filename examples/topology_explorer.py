@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Topology explorer: compare memory-network designs head to head.
+
+For each evaluated topology (Figure 8's lineup) at a chosen scale,
+report the structural metrics that drive the paper's analysis:
+
+* router radix (ports needed — the hardware-cost axis of Table II),
+* average / p90 shortest path length,
+* empirical bisection bandwidth (max-flow over random bipartitions),
+* routing-state bytes per router (String Figure's constant p(p+1)
+  table versus Jellyfish's superlinear k-shortest-path state),
+* saturation injection rate under uniform-random traffic.
+
+Run:  python examples/topology_explorer.py [num_nodes]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import make_policy, make_topology
+from repro.analysis.bisection import empirical_bisection
+from repro.analysis.paths import shortest_path_stats
+from repro.analysis.saturation import find_saturation
+from repro.core.routing_table import table_bits
+from repro.core.topology import StringFigureTopology
+from repro.traffic.patterns import make_pattern
+
+TOPOLOGIES = ("DM", "ODM", "FB", "AFB", "S2", "SF", "Jellyfish")
+
+
+def routing_state_bytes(topo, num_nodes: int) -> float:
+    """Per-router routing state estimate in bytes."""
+    if isinstance(topo, StringFigureTopology):
+        return table_bits(num_nodes, topo.num_ports) / 8
+    if topo.name == "Jellyfish":
+        # k-shortest-path forwarding state: ~k entries per destination.
+        import math
+
+        entry = math.ceil(math.log2(num_nodes)) + 3
+        return 4 * (num_nodes - 1) * entry / 8
+    # Minimal routing on regular structures: one entry per destination.
+    import math
+
+    return (num_nodes - 1) * (math.ceil(math.log2(num_nodes)) + 3) / 8
+
+
+def main(num_nodes: int) -> None:
+    print(f"Comparing topologies at N = {num_nodes} "
+          "(radix excludes the terminal port)\n")
+    print(f"{'design':<10}{'radix':>6}{'avg sp':>8}{'p90 sp':>8}"
+          f"{'bisect':>8}{'state B':>9}{'sat rate':>9}")
+    for name in TOPOLOGIES:
+        try:
+            topo = make_topology(name, num_nodes, seed=1)
+        except ValueError as exc:
+            print(f"{name:<10}  unsupported at this scale ({exc})")
+            continue
+        g = topo.graph()
+        paths = shortest_path_stats(g, sample_sources=64)
+        bisect_bw = empirical_bisection(g, partitions=10, seed=2)
+        radix = topo.radix if not hasattr(topo, "num_ports") else topo.num_ports
+        state = routing_state_bytes(topo, num_nodes)
+        policy = make_policy(topo)
+        pattern = make_pattern("uniform_random", topo.active_nodes)
+        saturation = find_saturation(
+            topo, policy, pattern, warmup=150, measure=350, resolution=0.1
+        )
+        print(f"{name:<10}{radix:>6}{paths.mean:>8.2f}{paths.p90:>8.0f}"
+              f"{bisect_bw:>8.0f}{state:>9.0f}{saturation:>9.2f}")
+
+    print("\nNotes: SF/S2 keep radix and routing state constant as N "
+          "grows;\nFB's radix and the minimal-table state scale with N "
+          "(Table II).")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    main(n)

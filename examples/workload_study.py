@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Real-workload study: in-memory computing on four memory networks.
+
+Replays synthesized traces of the paper's Table IV workloads (Spark
+wordcount/grep, PageRank, Redis, Memcached) on String Figure and the
+DM / ODM / AFB baselines, with four CPU sockets attached to spread-out
+memory nodes.  Prints per-workload runtime, read latency, throughput
+normalized to DM (the paper's Figure 12a view), and dynamic energy
+normalized to AFB (the Figure 12b view).
+
+Run:  python examples/workload_study.py
+"""
+
+from __future__ import annotations
+
+from repro import make_policy, make_topology
+from repro.energy.model import EnergyModel
+from repro.workloads.runner import run_workload
+from repro.workloads.trace import collect_trace
+
+WORKLOADS = ("wordcount", "grep", "pagerank", "redis", "memcached")
+TOPOLOGIES = ("DM", "ODM", "AFB", "SF")
+NUM_NODES = 64
+TRACE_SIZE = 2500
+
+
+def main() -> None:
+    print(f"{NUM_NODES}-node memory pool, 4 sockets, MLP 8, "
+          f"{TRACE_SIZE} memory ops per workload\n")
+    model = EnergyModel()
+    header = f"{'workload':<12}" + "".join(f"{t:>10}" for t in TOPOLOGIES)
+    geomean: dict[str, float] = {t: 1.0 for t in TOPOLOGIES}
+    geomean_e: dict[str, float] = {t: 1.0 for t in TOPOLOGIES}
+
+    print("Throughput normalized to DM (higher is better):")
+    print(header)
+    energies: dict[str, dict[str, float]] = {}
+    for workload in WORKLOADS:
+        trace = collect_trace(workload, max_memory_accesses=TRACE_SIZE,
+                              scale=0.02, seed=7)
+        row = {}
+        energy_row = {}
+        for name in TOPOLOGIES:
+            topo = make_topology(name, NUM_NODES, seed=3)
+            result = run_workload(topo, make_policy(topo), trace)
+            row[name] = result.throughput_ops_per_kcycle
+            radix = getattr(topo, "radix", 8)
+            energy_row[name] = model.from_stats(
+                result.stats, radix=radix
+            ).total_pj
+        energies[workload] = energy_row
+        base = row["DM"]
+        cells = "".join(f"{row[t] / base:>10.2f}" for t in TOPOLOGIES)
+        print(f"{workload:<12}{cells}")
+        for t in TOPOLOGIES:
+            geomean[t] *= row[t] / base
+    n = len(WORKLOADS)
+    print(f"{'geomean':<12}"
+          + "".join(f"{geomean[t] ** (1 / n):>10.2f}" for t in TOPOLOGIES))
+
+    print("\nDynamic energy normalized to AFB (lower is better):")
+    print(header)
+    for workload in WORKLOADS:
+        base = energies[workload]["AFB"]
+        cells = "".join(
+            f"{energies[workload][t] / base:>10.2f}" for t in TOPOLOGIES
+        )
+        print(f"{workload:<12}{cells}")
+        for t in TOPOLOGIES:
+            geomean_e[t] *= energies[workload][t] / base
+    print(f"{'geomean':<12}"
+          + "".join(f"{geomean_e[t] ** (1 / n):>10.2f}" for t in TOPOLOGIES))
+
+
+if __name__ == "__main__":
+    main()

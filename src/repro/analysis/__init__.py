@@ -1,0 +1,19 @@
+"""Graph and simulation analysis: paths, bisection, saturation, placement."""
+
+from repro.analysis.bisection import empirical_bisection, matched_channels
+from repro.analysis.paths import PathStats, greedy_path_stats, shortest_path_stats
+from repro.analysis.placement import GridPlacement
+from repro.analysis.routing_state import routing_state_bits, state_scaling_table
+from repro.analysis.saturation import find_saturation
+
+__all__ = [
+    "GridPlacement",
+    "PathStats",
+    "empirical_bisection",
+    "find_saturation",
+    "greedy_path_stats",
+    "matched_channels",
+    "routing_state_bits",
+    "shortest_path_stats",
+    "state_scaling_table",
+]

@@ -1,0 +1,101 @@
+"""Path-length statistics (paper Figure 5, Figure 9a, §VI percentiles).
+
+Two flavors:
+
+* :func:`shortest_path_stats` — graph-theoretic shortest paths (what
+  Figure 5 compares across Jellyfish, S2 and String Figure);
+* :func:`greedy_path_stats` — the hop counts the greediest *protocol*
+  actually achieves, which exceed the graph optimum slightly because
+  routers only see their two-hop window (Figure 9a's "average hop
+  counts of network designs").
+
+Both sample sources/pairs for large networks; sampling is seeded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.utils.rng import derive_rng
+
+__all__ = ["PathStats", "shortest_path_stats", "greedy_path_stats"]
+
+
+@dataclass(frozen=True)
+class PathStats:
+    """Summary of a path-length distribution."""
+
+    mean: float
+    p10: float
+    p90: float
+    maximum: int
+    samples: int
+
+    @staticmethod
+    def from_lengths(lengths: list[int]) -> "PathStats":
+        if not lengths:
+            raise ValueError("no path lengths to summarize")
+        data = sorted(lengths)
+        n = len(data)
+
+        def pct(q: float) -> float:
+            return float(data[min(n - 1, max(0, round(q * (n - 1))))])
+
+        return PathStats(
+            mean=sum(data) / n,
+            p10=pct(0.10),
+            p90=pct(0.90),
+            maximum=data[-1],
+            samples=n,
+        )
+
+
+def shortest_path_stats(
+    graph: nx.Graph, sample_sources: int | None = 64, seed: int = 0
+) -> PathStats:
+    """Average/percentile shortest path length of *graph*.
+
+    Samples BFS sources for graphs above the sample size; exact for
+    small graphs or ``sample_sources=None``.
+    """
+    nodes = list(graph.nodes())
+    if sample_sources is None or len(nodes) <= sample_sources:
+        sources = nodes
+    else:
+        rng = derive_rng(seed, "sp-sources")
+        sources = rng.sample(nodes, sample_sources)
+    lengths: list[int] = []
+    for src in sources:
+        dist = nx.single_source_shortest_path_length(graph, src)
+        lengths.extend(d for d in dist.values() if d > 0)
+    return PathStats.from_lengths(lengths)
+
+
+def greedy_path_stats(
+    routing, sample_pairs: int = 2000, seed: int = 0
+) -> PathStats:
+    """Hop counts achieved by a greediest-routing instance.
+
+    *routing* is a :class:`repro.core.routing.GreediestRouting`; pairs
+    are sampled uniformly from the active nodes.
+    """
+    active = routing.topology.active_nodes
+    rng = derive_rng(seed, "greedy-pairs")
+    lengths: list[int] = []
+    n = len(active)
+    exhaustive = n * (n - 1) <= sample_pairs
+    if exhaustive:
+        pairs = [(a, b) for a in active for b in active if a != b]
+    else:
+        pairs = []
+        while len(pairs) < sample_pairs:
+            a = active[rng.randrange(n)]
+            b = active[rng.randrange(n)]
+            if a != b:
+                pairs.append((a, b))
+    for a, b in pairs:
+        lengths.append(routing.route(a, b).hops)
+    return PathStats.from_lengths(lengths)

@@ -1,0 +1,123 @@
+"""2D grid placement and wire-length modeling (paper §IV-C).
+
+Memory nodes are physically placed on a 2D grid (PCB or interposer).
+The paper's placement goal is to avoid long wires: one-hop neighbors
+should sit within ten grid units, and an extra hop of link latency is
+charged per ten grid units of wire beyond that.
+
+The placement algorithm here is the natural greedy: lay nodes out in
+space-0 ring order, boustrophedon across the grid.  Ring neighbors —
+the bulk of the links — land at unit distance; the random long-range
+links and shortcuts pay the long-wire penalty, exactly the cost
+structure the paper describes.  :class:`GridPlacement` also exposes
+MetaCube-style clustering: nodes are grouped into interposer clusters
+by contiguous ring position, and links are classified intra- or
+inter-cluster.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.network.config import NetworkConfig
+
+__all__ = ["GridPlacement"]
+
+
+class GridPlacement:
+    """Places a topology's nodes on a 2D grid and derives wire lengths."""
+
+    def __init__(
+        self,
+        topology,
+        config: NetworkConfig | None = None,
+        cluster_size: int = 16,
+    ) -> None:
+        self.topology = topology
+        self.config = config or NetworkConfig()
+        self.cluster_size = cluster_size
+        n = topology.num_nodes
+        self.cols = max(1, math.isqrt(n))
+        self.rows = -(-n // self.cols)
+        order = self._placement_order()
+        self._position: dict[int, tuple[int, int]] = {}
+        for i, node in enumerate(order):
+            r, c = divmod(i, self.cols)
+            if r % 2 == 1:
+                c = self.cols - 1 - c  # boustrophedon keeps successors adjacent
+            self._position[node] = (r, c)
+
+    def _placement_order(self) -> list[int]:
+        coords = getattr(self.topology, "coords", None)
+        if coords is not None:
+            return coords.ring(0)
+        return list(range(self.topology.num_nodes))
+
+    # -- geometry -----------------------------------------------------------------
+
+    def position(self, node: int) -> tuple[int, int]:
+        """Grid (row, col) of *node*."""
+        return self._position[node]
+
+    def wire_length(self, u: int, v: int) -> int:
+        """Manhattan wire length between two nodes, in grid units."""
+        ru, cu = self._position[u]
+        rv, cv = self._position[v]
+        return abs(ru - rv) + abs(cu - cv)
+
+    def link_latency(self, u: int, v: int) -> int:
+        """Wire latency in cycles, with the paper's long-wire penalty.
+
+        Base wire latency plus ``long_wire_extra_cycles`` per
+        ``long_wire_grid_units`` of length beyond the first.
+        """
+        length = self.wire_length(u, v)
+        extra_units = max(0, length - 1) // self.config.long_wire_grid_units
+        return self.config.wire_cycles + extra_units * self.config.long_wire_extra_cycles
+
+    def latency_fn(self):
+        """A ``(u, v) -> cycles`` callable for the simulator."""
+        return self.link_latency
+
+    # -- statistics ------------------------------------------------------------------
+
+    def wire_stats(self) -> dict[str, float]:
+        """Wire-length distribution over the topology's physical links."""
+        links = self._links()
+        lengths = [self.wire_length(u, v) for u, v in links]
+        if not lengths:
+            return {"mean": 0.0, "max": 0.0, "long_fraction": 0.0}
+        long_count = sum(
+            1 for w in lengths if w > self.config.long_wire_grid_units
+        )
+        return {
+            "mean": sum(lengths) / len(lengths),
+            "max": float(max(lengths)),
+            "long_fraction": long_count / len(lengths),
+        }
+
+    def _links(self) -> list[tuple[int, int]]:
+        physical = getattr(self.topology, "physical_links", None)
+        if physical is not None:
+            return physical()
+        return list(self.topology.graph().edges())
+
+    # -- MetaCube clustering -------------------------------------------------------------
+
+    def cluster_of(self, node: int) -> int:
+        """MetaCube (interposer cluster) index of *node*."""
+        order = self._placement_order()
+        index = {n: i for i, n in enumerate(order)}
+        return index[node] // self.cluster_size
+
+    def cluster_link_split(self) -> dict[str, int]:
+        """Counts of intra- versus inter-MetaCube links."""
+        order = self._placement_order()
+        index = {n: i for i, n in enumerate(order)}
+        intra = inter = 0
+        for u, v in self._links():
+            if index[u] // self.cluster_size == index[v] // self.cluster_size:
+                intra += 1
+            else:
+                inter += 1
+        return {"intra": intra, "inter": inter}

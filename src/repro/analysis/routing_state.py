@@ -1,0 +1,55 @@
+"""Routing-state scaling comparison (paper §III-B).
+
+The paper motivates the hybrid compute+table scheme by routing-state
+growth: k-shortest-path forwarding on a random graph needs
+``O(N log N)`` table bits per router and ``O(N^2 log N)`` network-wide,
+while String Figure's one-/two-hop table stays at ``p(p+1)`` entries —
+constant in N.  This module computes per-router state for each scheme
+so the claim can be regenerated as a table:
+
+* ``sf`` — the p(p+1)-entry table of §IV-B (bit-accurate),
+* ``minimal`` — one next-hop entry per destination (mesh/FB-style
+  destination-indexed tables),
+* ``ksp`` — k next-hop entries per destination (Jellyfish-style
+  k-shortest-path forwarding).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.routing_table import table_bits
+
+__all__ = ["routing_state_bits", "state_scaling_table"]
+
+
+def routing_state_bits(
+    scheme: str, num_nodes: int, num_ports: int, k: int = 4
+) -> float:
+    """Per-router routing state in bits for a forwarding *scheme*."""
+    if num_nodes < 2:
+        raise ValueError(f"num_nodes must be >= 2, got {num_nodes}")
+    port_bits = max(1, math.ceil(math.log2(max(2, num_ports))))
+    node_bits = max(1, math.ceil(math.log2(num_nodes)))
+    if scheme == "sf":
+        return float(table_bits(num_nodes, num_ports))
+    if scheme == "minimal":
+        # One (destination -> output port) row per destination.
+        return float((num_nodes - 1) * (node_bits + port_bits))
+    if scheme == "ksp":
+        # k next-hop choices per destination, plus a path id.
+        return float((num_nodes - 1) * k * (node_bits + port_bits))
+    raise ValueError(f"unknown scheme {scheme!r}; use sf, minimal or ksp")
+
+
+def state_scaling_table(
+    sizes: list[int], num_ports: int = 8, k: int = 4
+) -> dict[str, dict[int, float]]:
+    """Per-router state (KB) for each scheme across network sizes."""
+    table: dict[str, dict[int, float]] = {}
+    for scheme in ("sf", "minimal", "ksp"):
+        table[scheme] = {
+            n: routing_state_bits(scheme, n, num_ports, k) / 8 / 1024
+            for n in sizes
+        }
+    return table

@@ -1,0 +1,102 @@
+"""Network saturation-point search (paper Figure 10).
+
+The saturation injection rate is the offered load at which a network
+stops accepting traffic gracefully.  Following common practice (and
+matching how the paper's latency-versus-injection curves behave), a
+rate is *saturated* when either
+
+* the measured average latency exceeds ``latency_factor`` times the
+  low-load latency, or
+* the network fails to deliver at least ``accept_threshold`` of the
+  measured packets within the drain window.
+
+``find_saturation`` runs a coarse-to-fine search over injection rates
+and returns the highest stable rate found (as a fraction of one packet
+per node per cycle).
+"""
+
+from __future__ import annotations
+
+from repro.network.config import NetworkConfig
+from repro.traffic.injection import run_synthetic
+from repro.traffic.patterns import TrafficPattern
+
+__all__ = ["find_saturation"]
+
+
+def _is_stable(
+    stats, base_latency: float, latency_factor: float, accept_threshold: float
+) -> bool:
+    if stats.measured_delivered == 0:
+        return False
+    if stats.accepted_rate < accept_threshold:
+        return False
+    return stats.avg_latency <= latency_factor * base_latency
+
+
+def find_saturation(
+    topology,
+    policy,
+    pattern: TrafficPattern,
+    config: NetworkConfig | None = None,
+    low_rate: float = 0.02,
+    latency_factor: float = 3.0,
+    accept_threshold: float = 0.95,
+    warmup: int = 200,
+    measure: int = 500,
+    drain_limit: int = 20_000,
+    resolution: float = 0.05,
+    seed: int = 0,
+) -> float:
+    """Highest stable injection rate for (topology, policy, pattern).
+
+    Runs a low-load probe to calibrate the latency baseline, then
+    bisects between the last stable and first unstable rate down to
+    *resolution*.  Returns 0.0 when even the low-load probe saturates
+    (as happens for hotspot traffic at scale).
+    """
+
+    def probe(rate: float):
+        return run_synthetic(
+            topology,
+            policy,
+            pattern,
+            rate,
+            config=config,
+            warmup=warmup,
+            measure=measure,
+            drain_limit=drain_limit,
+            seed=seed,
+        )
+
+    base = probe(low_rate)
+    if base.measured_delivered == 0 or base.accepted_rate < accept_threshold:
+        return 0.0
+    base_latency = max(1.0, base.avg_latency)
+
+    lo, hi = low_rate, 1.0
+    # Exponential climb to find the first unstable rate.
+    rate = max(2 * low_rate, 0.1)
+    first_unstable = None
+    while rate <= 1.0:
+        stats = probe(rate)
+        if _is_stable(stats, base_latency, latency_factor, accept_threshold):
+            lo = rate
+            rate = min(1.0, rate * 2) if rate < 1.0 else 1.01
+            if rate == lo:
+                break
+        else:
+            first_unstable = rate
+            break
+    if first_unstable is None:
+        return 1.0
+    hi = first_unstable
+    # Bisect down to the requested resolution.
+    while hi - lo > resolution:
+        mid = (lo + hi) / 2
+        stats = probe(mid)
+        if _is_stable(stats, base_latency, latency_factor, accept_threshold):
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the library's main entry points:
+
+* ``topology`` — build a named topology and print structural metrics
+  (radix, path lengths, bisection bandwidth, routing state).
+* ``simulate`` — run a synthetic-traffic simulation and print latency,
+  throughput, and energy.
+* ``workload`` — replay a Table IV workload trace and print runtime,
+  read latency, and energy.
+* ``reconfigure`` — demonstrate elastic scaling: gate a fraction of a
+  String Figure network, probe it, and restore it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="String Figure memory network (HPCA 2019) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    topo = sub.add_parser("topology", help="structural metrics of a design")
+    topo.add_argument("name", help="SF, S2, DM, ODM, FB, AFB, Jellyfish")
+    topo.add_argument("--nodes", type=int, default=64)
+    topo.add_argument("--ports", type=int, default=None)
+    topo.add_argument("--seed", type=int, default=0)
+
+    sim = sub.add_parser("simulate", help="synthetic-traffic simulation")
+    sim.add_argument("name")
+    sim.add_argument("--nodes", type=int, default=64)
+    sim.add_argument("--pattern", default="uniform_random")
+    sim.add_argument("--rate", type=float, default=0.2)
+    sim.add_argument("--warmup", type=int, default=200)
+    sim.add_argument("--measure", type=int, default=600)
+    sim.add_argument("--seed", type=int, default=0)
+
+    work = sub.add_parser("workload", help="trace-driven workload replay")
+    work.add_argument("name")
+    work.add_argument("--workload", default="redis")
+    work.add_argument("--nodes", type=int, default=64)
+    work.add_argument("--accesses", type=int, default=2000)
+    work.add_argument("--scale", type=float, default=0.02)
+    work.add_argument("--seed", type=int, default=0)
+
+    reconf = sub.add_parser("reconfigure", help="elastic scaling demo")
+    reconf.add_argument("--nodes", type=int, default=96)
+    reconf.add_argument("--ports", type=int, default=8)
+    reconf.add_argument("--fraction", type=float, default=0.25)
+    reconf.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_topology(args) -> int:
+    from repro.analysis.bisection import empirical_bisection
+    from repro.analysis.paths import shortest_path_stats
+    from repro.core.routing_table import table_bits
+    from repro.core.topology import StringFigureTopology
+    from repro.topologies.registry import make_topology
+
+    topo = make_topology(args.name, args.nodes, seed=args.seed, ports=args.ports)
+    g = topo.graph()
+    paths = shortest_path_stats(g, sample_sources=64)
+    radix = topo.num_ports if hasattr(topo, "num_ports") else topo.radix
+    print(f"design:          {args.name}")
+    print(f"nodes:           {topo.num_nodes}")
+    print(f"router radix:    {radix}")
+    print(f"links:           {g.number_of_edges()}")
+    print(f"avg path:        {paths.mean:.2f} (p90 {paths.p90:.0f}, "
+          f"max {paths.maximum})")
+    print(f"bisection:       {empirical_bisection(g, partitions=10):.0f}")
+    if isinstance(topo, StringFigureTopology):
+        bits = table_bits(topo.num_nodes, topo.num_ports)
+        print(f"routing table:   <= {bits / 8 / 1024:.2f} KB per router "
+              "(constant in N)")
+        print(f"virtual spaces:  {topo.num_spaces}")
+        print(f"shortcut wires:  {len(topo.shortcut_wires)}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.energy.model import EnergyModel
+    from repro.topologies.registry import make_policy, make_topology
+    from repro.traffic.injection import run_synthetic
+    from repro.traffic.patterns import make_pattern
+
+    topo = make_topology(args.name, args.nodes, seed=args.seed)
+    policy = make_policy(topo)
+    pattern = make_pattern(args.pattern, topo.active_nodes)
+    stats = run_synthetic(
+        topo,
+        policy,
+        pattern,
+        args.rate,
+        warmup=args.warmup,
+        measure=args.measure,
+        seed=args.seed,
+    )
+    energy = EnergyModel().from_stats(stats)
+    print(f"{args.name} N={args.nodes} {args.pattern} @ {args.rate:.0%}:")
+    print(f"  avg latency:   {stats.avg_latency:.1f} cycles "
+          f"({stats.avg_latency * 3.2:.0f} ns)")
+    print(f"  p95 latency:   {stats.latency.percentile(95):.1f} cycles")
+    print(f"  avg hops:      {stats.avg_hops:.2f}")
+    print(f"  accepted:      {stats.accepted_rate:.1%}")
+    print(f"  fallback hops: {stats.fallback_hops}")
+    print(f"  network energy:{energy.network_pj / 1e6:10.2f} uJ")
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    from repro.topologies.registry import make_policy, make_topology
+    from repro.workloads.runner import run_workload
+    from repro.workloads.trace import collect_trace
+
+    trace = collect_trace(
+        args.workload,
+        max_memory_accesses=args.accesses,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    topo = make_topology(args.name, args.nodes, seed=args.seed)
+    result = run_workload(topo, make_policy(topo), trace)
+    print(f"{args.workload} on {args.name} (N={args.nodes}):")
+    print(f"  memory accesses: {result.operations}")
+    print(f"  runtime:         {result.runtime_cycles} cycles "
+          f"({result.runtime_cycles * 3.2 / 1000:.1f} us)")
+    print(f"  avg read latency:{result.avg_read_latency:9.1f} cycles")
+    print(f"  throughput:      {result.throughput_ops_per_kcycle:.1f} "
+          "ops/kcycle")
+    print(f"  energy:          net {result.energy.network_pj / 1e6:.2f} uJ, "
+          f"dram {result.energy.dram_pj / 1e6:.2f} uJ")
+    return 0
+
+
+def _cmd_reconfigure(args) -> int:
+    from repro.analysis.paths import greedy_path_stats
+    from repro.core.reconfig import ReconfigurationManager
+    from repro.core.routing import AdaptiveGreediestRouting
+    from repro.core.topology import StringFigureTopology
+    from repro.energy.power_gating import PowerManager
+
+    topo = StringFigureTopology(args.nodes, args.ports, seed=args.seed)
+    routing = AdaptiveGreediestRouting(topo)
+    manager = PowerManager(ReconfigurationManager(topo, routing))
+    before = greedy_path_stats(routing, sample_pairs=1000)
+    print(f"full network:   {args.nodes} nodes, avg {before.mean:.2f} hops")
+    plan = manager.gate_fraction(args.fraction)
+    after = greedy_path_stats(routing, sample_pairs=1000)
+    print(f"gated {len(plan.gated)} nodes (sleep {plan.overhead_ns:.0f} ns); "
+          f"{len(topo.active_shortcuts)} shortcut wires switched in")
+    print(f"down-scaled:    {len(topo.active_nodes)} nodes, "
+          f"avg {after.mean:.2f} hops, "
+          f"connected: {manager.manager.validate_connectivity()}")
+    plan = manager.wake_all(now_ns=200_000)
+    restored = greedy_path_stats(routing, sample_pairs=1000)
+    print(f"restored:       {len(topo.active_nodes)} nodes, "
+          f"avg {restored.mean:.2f} hops "
+          f"(wake {plan.overhead_ns:.0f} ns)")
+    return 0
+
+
+_COMMANDS = {
+    "topology": _cmd_topology,
+    "simulate": _cmd_simulate,
+    "workload": _cmd_workload,
+    "reconfigure": _cmd_reconfigure,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

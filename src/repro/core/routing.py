@@ -1,0 +1,452 @@
+"""Greediest and adaptive greediest routing (paper §III-B).
+
+Forwarding a packet from node ``s`` toward destination ``t``:
+
+1. Compute the minimum circular distance ``MD`` to ``t`` of every
+   usable node in the router's *table window* — its one-hop and two-hop
+   neighbors (a fixed, small number of numeric comparisons; no global
+   state, no link-state broadcast).
+2. The candidate *targets* are window nodes with ``MD`` strictly below
+   the current node's own (the paper's strict-progress requirement,
+   extended to the two-hop window per its "we compute MD with both one-
+   and two-hop neighbor information" design point).
+3. *Greediest* selection forwards toward the window target with the
+   smallest ``MD``.  When that target is a two-hop neighbor whose via
+   does not itself make progress, the packet carries a one-entry
+   *commit* so the intermediate router forwards it on; the sequence of
+   decision points therefore has strictly decreasing ``MD``, which
+   keeps routes loop-free (paper Appendix A, Proposition 3).
+4. *Adaptive* selection (first hop only, following the paper) diverts
+   to a lightly-loaded output port among the progressing vias when the
+   greediest port's queue is filled beyond a threshold.
+
+If no window target makes progress — possible only on a degraded
+(reconfigured or quantized) topology — a space-0 ring fallback walks
+clockwise.  Like GPSR's perimeter mode, the packet records the ``MD``
+at fallback entry and keeps walking (strictly reducing the clockwise
+space-0 distance each step, hence terminating) until it reaches a node
+whose ``MD`` is below the recorded value, where greedy mode resumes.
+Every fallback phase ends at a strictly smaller ``MD`` than the
+previous one, so the combined protocol still delivers in finitely many
+hops as long as the active space-0 ring is intact — which the
+reconfiguration manager's shortcut patching rule guarantees.  Fallback
+hops are counted so experiments can report them (zero on intact
+networks).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.core.coordinates import clockwise_distance
+from repro.core.routing_table import RoutingTable
+from repro.core.topology import LinkDirection, StringFigureTopology
+from repro.core.virtual_channels import select_virtual_channel
+
+__all__ = [
+    "GreediestRouting",
+    "AdaptiveGreediestRouting",
+    "RouteResult",
+    "RouteState",
+]
+
+
+class RouteState:
+    """Per-packet routing state carried in the packet header.
+
+    ``commit`` is the node id the packet must be forwarded to next (set
+    when a two-hop window target was chosen through a non-progressing
+    via); ``fallback_md`` is the ``MD`` recorded when the space-0 ring
+    fallback was entered, or ``None`` in greedy mode.  Hardware cost:
+    one node id plus one 7-bit distance — a few bytes in the header.
+    """
+
+    __slots__ = ("commit", "fallback_md")
+
+    def __init__(
+        self, commit: int | None = None, fallback_md: float | None = None
+    ) -> None:
+        self.commit = commit
+        self.fallback_md = fallback_md
+
+    @property
+    def in_fallback(self) -> bool:
+        return self.fallback_md is not None
+
+    def __repr__(self) -> str:
+        return f"RouteState(commit={self.commit}, fallback_md={self.fallback_md})"
+
+
+class RouteResult:
+    """A computed route with bookkeeping for experiments."""
+
+    __slots__ = ("path", "fallback_hops")
+
+    def __init__(self, path: list[int], fallback_hops: int) -> None:
+        self.path = path
+        self.fallback_hops = fallback_hops
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+    def __repr__(self) -> str:
+        return f"RouteResult(hops={self.hops}, fallback={self.fallback_hops})"
+
+
+class _NodeView:
+    """Vectorized snapshot of one router's usable table window."""
+
+    __slots__ = (
+        "nbr_ids",
+        "nbr_coords",
+        "win_ids",
+        "win_coords",
+        "win_hop",
+        "via_mask",
+        "id_to_nbr_index",
+        "id_to_win_index",
+    )
+
+    def __init__(self, table: RoutingTable) -> None:
+        one_hop = table.one_hop()
+        window = one_hop + table.two_hop()
+        self.nbr_ids = np.array([e.node for e in one_hop], dtype=np.int64)
+        self.nbr_coords = np.array(
+            [e.coords for e in one_hop], dtype=np.float64
+        ).reshape(len(one_hop), -1)
+        self.win_ids = np.array([e.node for e in window], dtype=np.int64)
+        self.win_coords = np.array(
+            [e.coords for e in window], dtype=np.float64
+        ).reshape(len(window), -1)
+        self.win_hop = np.array([e.hop for e in window], dtype=np.int64)
+        # via_mask[i, j] is True when window node j is reachable through
+        # one-hop neighbor i.
+        k, m = len(one_hop), len(window)
+        mask = np.zeros((k, m), dtype=bool)
+        nbr_index = {e.node: i for i, e in enumerate(one_hop)}
+        for j, entry in enumerate(window):
+            for via in entry.vias:
+                i = nbr_index.get(via)
+                if i is not None:
+                    mask[i, j] = True
+        self.via_mask = mask
+        self.id_to_nbr_index = nbr_index
+        self.id_to_win_index = {int(n): j for j, n in enumerate(self.win_ids)}
+
+
+class GreediestRouting:
+    """Greediest routing over a String Figure (or S2) topology.
+
+    Parameters
+    ----------
+    topology:
+        A :class:`~repro.core.topology.StringFigureTopology`.
+    use_two_hop:
+        Use the two-hop window from the routing table (the paper's
+        default per its sensitivity study); with ``False`` only one-hop
+        ``MD`` drives decisions.
+    """
+
+    num_vcs = 2
+
+    def __init__(
+        self,
+        topology: StringFigureTopology,
+        use_two_hop: bool = True,
+    ) -> None:
+        self.topology = topology
+        self.use_two_hop = use_two_hop
+        self._uni = topology.direction is LinkDirection.UNI
+        self.tables: dict[int, RoutingTable] = {}
+        self._views: dict[int, _NodeView] = {}
+        self._coord_matrix = np.array(
+            [topology.coords.vector(v) for v in range(topology.num_nodes)],
+            dtype=np.float64,
+        )
+        self.rebuild()
+
+    # -- table management -----------------------------------------------------
+
+    def rebuild(self, nodes: Sequence[int] | None = None) -> None:
+        """(Re)build routing tables for *nodes* (default: every active node)."""
+        targets = self.topology.active_nodes if nodes is None else nodes
+        for v in targets:
+            if self.topology.is_active(v):
+                self.tables[v] = RoutingTable.build(self.topology, v)
+                self._views[v] = _NodeView(self.tables[v])
+            else:
+                self.tables.pop(v, None)
+                self._views.pop(v, None)
+
+    def refresh_views(self, nodes: Sequence[int] | None = None) -> None:
+        """Re-snapshot vectorized views after manual table bit flips."""
+        targets = self.tables.keys() if nodes is None else nodes
+        for v in list(targets):
+            if v in self.tables:
+                self._views[v] = _NodeView(self.tables[v])
+
+    def table(self, node: int) -> RoutingTable:
+        """Routing table of *node*."""
+        return self.tables[node]
+
+    # -- distance helpers --------------------------------------------------------
+
+    def _md_array(self, coords: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Vectorized MD from each row of *coords* to *dst*."""
+        if self._uni:
+            d = (dst - coords) % 1.0
+        else:
+            d = np.abs(coords - dst)
+            d = np.minimum(d, 1.0 - d)
+        if d.ndim == 1:
+            return d.min()
+        return d.min(axis=1)
+
+    def md(self, a: int, b: int) -> float:
+        """MD between two nodes using this topology's distance convention."""
+        return float(self._md_array(self._coord_matrix[a], self._coord_matrix[b]))
+
+    def md_to_coords(self, node: int, dst_coords: Sequence[float]) -> float:
+        """MD from *node* to a destination coordinate vector."""
+        return float(
+            self._md_array(
+                self._coord_matrix[node], np.asarray(dst_coords, dtype=np.float64)
+            )
+        )
+
+    def dst_vector(self, dst: int) -> np.ndarray:
+        """Destination coordinate vector (written into packet headers)."""
+        return self._coord_matrix[dst]
+
+    # -- forwarding ----------------------------------------------------------------
+
+    def candidate_set(
+        self, current: int, dst: int, dst_coords: Sequence[float] | None = None
+    ) -> list[tuple[float, int]]:
+        """Progressing vias with look-ahead scores, best-first.
+
+        Returns ``(score, via)`` pairs where *score* is the best window
+        ``MD`` reachable through the via within two hops; only vias
+        whose score strictly improves on the current node's ``MD`` are
+        included (the paper's set ``W`` used for adaptive routing).
+        """
+        view = self._views[current]
+        if view.nbr_ids.size == 0:
+            return []
+        dst_vec = (
+            self._coord_matrix[dst]
+            if dst_coords is None
+            else np.asarray(dst_coords, dtype=np.float64)
+        )
+        my_md = float(self._md_array(self._coord_matrix[current], dst_vec))
+        nbr_md = self._md_array(view.nbr_coords, dst_vec)
+        if self.use_two_hop:
+            win_md = self._md_array(view.win_coords, dst_vec)
+            masked = np.where(view.via_mask, win_md[None, :], np.inf)
+            scores = np.minimum(nbr_md, masked.min(axis=1))
+        else:
+            scores = nbr_md
+        result = [
+            (float(scores[i]), int(view.nbr_ids[i]))
+            for i in np.flatnonzero(scores < my_md)
+        ]
+        result.sort(key=lambda item: (item[0], item[1]))
+        return result
+
+    def _greedy_choice(
+        self, current: int, dst_vec: np.ndarray
+    ) -> tuple[int, int | None] | None:
+        """Greediest (via, commit) from *current*, or None if stuck.
+
+        The commit is set when the best window target is a two-hop
+        neighbor whose via does not itself make strict progress.
+        """
+        view = self._views[current]
+        if view.nbr_ids.size == 0:
+            return None
+        my_md = float(self._md_array(self._coord_matrix[current], dst_vec))
+        nbr_md = self._md_array(view.nbr_coords, dst_vec)
+        if not self.use_two_hop:
+            best = int(np.argmin(nbr_md))
+            if float(nbr_md[best]) >= my_md:
+                return None
+            return int(view.nbr_ids[best]), None
+        win_md = self._md_array(view.win_coords, dst_vec)
+        target = int(np.argmin(win_md))
+        target_md = float(win_md[target])
+        if target_md >= my_md:
+            return None
+        vias = np.flatnonzero(view.via_mask[:, target])
+        via = int(vias[np.argmin(nbr_md[vias])])
+        via_id = int(view.nbr_ids[via])
+        if view.win_hop[target] == 1:
+            return via_id, None
+        commit = int(view.win_ids[target]) if float(nbr_md[via]) >= my_md else None
+        return via_id, commit
+
+    def next_hop(
+        self,
+        current: int,
+        dst: int,
+        dst_coords: Sequence[float] | None = None,
+        state: RouteState | None = None,
+    ) -> tuple[int, RouteState]:
+        """Forward one packet one hop; returns ``(neighbor, new_state)``.
+
+        *state* is the packet's :class:`RouteState` (``None`` = fresh
+        packet).  The returned state must travel with the packet.
+        """
+        if state is None:
+            state = RouteState()
+        view = self._views[current]
+        dst_vec = (
+            self._coord_matrix[dst]
+            if dst_coords is None
+            else np.asarray(dst_coords, dtype=np.float64)
+        )
+        # Direct delivery always wins.
+        if dst in view.id_to_nbr_index:
+            return dst, RouteState()
+        # Honor a pending two-hop commit if it is still a usable neighbor.
+        if state.commit is not None:
+            commit = state.commit
+            if commit in view.id_to_nbr_index:
+                return commit, RouteState(fallback_md=state.fallback_md)
+            state = RouteState(fallback_md=state.fallback_md)
+        # Leave fallback mode once MD has improved past the entry value.
+        if state.fallback_md is not None:
+            my_md = float(self._md_array(self._coord_matrix[current], dst_vec))
+            if my_md < state.fallback_md:
+                state = RouteState()
+        if state.fallback_md is None:
+            choice = self._greedy_choice(current, dst_vec)
+            if choice is not None:
+                via, commit = choice
+                return via, RouteState(commit=commit)
+            entry_md = float(self._md_array(self._coord_matrix[current], dst_vec))
+            state = RouteState(fallback_md=entry_md)
+        return self._fallback_hop(current, dst_vec), state
+
+    def _fallback_hop(self, current: int, dst_vec: np.ndarray) -> int:
+        """One clockwise step of the space-0 ring walk.
+
+        Picks the usable neighbor with the smallest clockwise space-0
+        distance to the destination.  The clockwise ring successor is
+        always such a neighbor on an intact active ring, so the chosen
+        distance strictly decreases; a non-decreasing choice means the
+        ring is broken and delivery cannot be guaranteed.
+        """
+        view = self._views[current]
+        if view.nbr_ids.size == 0:
+            raise RuntimeError(f"node {current} has no usable neighbors")
+        target = float(dst_vec[0])
+        d = (target - view.nbr_coords[:, 0]) % 1.0
+        best = int(np.argmin(d))
+        my_dcw = clockwise_distance(
+            float(self._coord_matrix[current][0]), target
+        )
+        if float(d[best]) >= my_dcw:
+            raise RuntimeError(
+                f"space-0 ring broken at node {current}: no clockwise progress "
+                "(reconfiguration left the network unpatchable)"
+            )
+        return int(view.nbr_ids[best])
+
+    def route(self, src: int, dst: int, max_hops: int | None = None) -> RouteResult:
+        """Compute the full greediest route from *src* to *dst*."""
+        if not self.topology.is_active(src) or not self.topology.is_active(dst):
+            raise ValueError("source and destination must be active nodes")
+        if max_hops is None:
+            max_hops = 4 * self.topology.num_nodes
+        path = [src]
+        fallbacks = 0
+        current = src
+        dst_vec = self._coord_matrix[dst]
+        state = RouteState()
+        while current != dst:
+            if len(path) - 1 >= max_hops:
+                raise RuntimeError(
+                    f"route {src}->{dst} exceeded {max_hops} hops: {path[:16]}..."
+                )
+            nxt, state = self.next_hop(current, dst, dst_vec, state)
+            fallbacks += int(state.in_fallback)
+            path.append(nxt)
+            current = nxt
+        return RouteResult(path, fallbacks)
+
+    # -- simulator-facing policy interface ----------------------------------------
+
+    def forwarding_candidates(self, current: int, dst: int) -> tuple[int, ...]:
+        """Greedy candidate vias in preference order (no fallback)."""
+        ranked = self.candidate_set(current, dst)
+        return tuple(w for _score, w in ranked)
+
+    def select_vc(self, src: int, dst: int) -> int:
+        """Deadlock-avoidance virtual channel for a ``src -> dst`` packet."""
+        coords = self.topology.coords
+        return select_virtual_channel(
+            coords.coordinate(src, 0), coords.coordinate(dst, 0)
+        )
+
+
+class AdaptiveGreediestRouting(GreediestRouting):
+    """Greediest routing with the paper's adaptive first-hop selection.
+
+    At the *source* router only, when the greediest output port's queue
+    is filled beyond ``congestion_threshold`` (fraction of queue
+    capacity, paper example: 50%), the packet is diverted to the least
+    loaded port that still satisfies the strict-progress requirement.
+    Later hops always take the greediest choice, preserving loop
+    freedom.
+    """
+
+    def __init__(
+        self,
+        topology: StringFigureTopology,
+        use_two_hop: bool = True,
+        congestion_threshold: float = 0.5,
+    ) -> None:
+        if not 0.0 < congestion_threshold <= 1.0:
+            raise ValueError(
+                f"congestion_threshold must be in (0, 1], got {congestion_threshold}"
+            )
+        super().__init__(topology, use_two_hop=use_two_hop)
+        self.congestion_threshold = congestion_threshold
+
+    def adaptive_next_hop(
+        self,
+        current: int,
+        dst: int,
+        port_load: Callable[[int, int], float],
+        first_hop: bool,
+        dst_coords: Sequence[float] | None = None,
+        state: RouteState | None = None,
+    ) -> tuple[int, RouteState]:
+        """Next hop given a ``port_load(node, neighbor) -> [0, 1]`` probe.
+
+        ``port_load`` reports the output-queue occupancy fraction of the
+        link ``current -> neighbor`` (the hardware uses per-port packet
+        counters, §IV-B).  The fallback/commit state machine matches
+        :meth:`GreediestRouting.next_hop`.
+        """
+        if state is None:
+            state = RouteState()
+        if not first_hop or state.commit is not None or state.in_fallback:
+            return self.next_hop(current, dst, dst_coords, state)
+        view = self._views[current]
+        if dst in view.id_to_nbr_index:
+            return dst, RouteState()
+        candidates = self.candidate_set(current, dst, dst_coords)
+        if not candidates:
+            return self.next_hop(current, dst, dst_coords, state)
+        best_score, best = candidates[0]
+        if len(candidates) == 1 or port_load(current, best) < self.congestion_threshold:
+            return self.next_hop(current, dst, dst_coords, state)
+        _score, diverted = min(
+            candidates,
+            key=lambda item: (port_load(current, item[1]), item[0], item[1]),
+        )
+        return diverted, RouteState()

@@ -1,0 +1,66 @@
+"""Shortcut generation (paper §III-A, Figure 3c).
+
+Shortcuts are extra physical wires that keep network throughput high
+after the network is scaled down (power-gated or unmounted nodes).  For
+every node the generator adds connections to its two-hop and four-hop
+clockwise neighbors on the *space-0* ring, but only toward nodes with a
+larger node number, bounding the added wiring at two shortcuts per node.
+
+Shortcuts that coincide with links of the basic balanced random
+topology are not separate wires; the topology keeps them classified as
+overlapping so port accounting stays correct.
+"""
+
+from __future__ import annotations
+
+from repro.core.coordinates import CoordinateSystem
+
+__all__ = ["generate_shortcuts", "SHORTCUT_OFFSETS"]
+
+#: Clockwise ring offsets used for shortcut targets (paper: "two and
+#: four hop neighbors ... in Virtual Space-0 in a clockwise manner").
+SHORTCUT_OFFSETS: tuple[int, ...] = (2, 4)
+
+
+def generate_shortcuts(
+    coords: CoordinateSystem,
+    offsets: tuple[int, ...] = SHORTCUT_OFFSETS,
+    higher_id_only: bool = True,
+) -> list[tuple[int, int]]:
+    """Generate the shortcut wire list for a topology.
+
+    Parameters
+    ----------
+    coords:
+        The topology's coordinate system (defines the space-0 ring).
+    offsets:
+        Clockwise ring offsets to connect to (paper uses 2 and 4).
+    higher_id_only:
+        Apply the paper's rule of only connecting to nodes with a
+        larger node number (limits each node to at most
+        ``len(offsets)`` shortcuts).
+
+    Returns
+    -------
+    list of ``(u, v)`` node pairs, deduplicated, in deterministic order.
+    ``u`` is the shortcut's origin (the lower ring position); for
+    uni-directional topologies the wire is driven ``u -> v``.
+    """
+    n = coords.num_nodes
+    seen: set[tuple[int, int]] = set()
+    shortcuts: list[tuple[int, int]] = []
+    for node in range(n):
+        for offset in offsets:
+            if offset % n == 0:
+                continue  # wraps to self on tiny rings
+            target = coords.ring_neighbor(node, 0, offset)
+            if target == node:
+                continue
+            if higher_id_only and target <= node:
+                continue
+            key = (node, target)
+            if key in seen:
+                continue
+            seen.add(key)
+            shortcuts.append(key)
+    return shortcuts

@@ -1,0 +1,86 @@
+"""MUX-based per-node topology switch (paper §IV-B, Figure 7).
+
+Each memory node's router has ``p`` network ports, but the node may be
+wired to more than ``p`` physical connections: its basic random-topology
+links plus up to two shortcut wires (and up to two incoming shortcut
+wires from its ring predecessors).  A small multiplexer stage — the
+*topology switch* — selects which ``p`` of those wires are attached to
+the ports at any moment.  Reconfiguration is the act of changing that
+selection (plus the routing-table bit flips).
+
+This module models the switch for one node: it knows every wire the
+node could attach and validates that activations never exceed the port
+budget.  The actual selection policy lives in
+:class:`repro.core.reconfig.ReconfigurationManager`.
+"""
+
+from __future__ import annotations
+
+from repro.core.topology import LinkDirection, LinkKind, StringFigureTopology
+
+__all__ = ["TopologySwitch"]
+
+
+class TopologySwitch:
+    """The wire-selection multiplexer of a single memory node."""
+
+    def __init__(self, topology: StringFigureTopology, node: int) -> None:
+        self.topology = topology
+        self.node = node
+
+    def attached_wires(self) -> list[tuple[int, int]]:
+        """Every physical wire terminating at this node (any state)."""
+        wires = []
+        for u, v in self.topology.physical_links():
+            if u == self.node or v == self.node:
+                wires.append((u, v))
+        return wires
+
+    def shortcut_wires(self) -> list[tuple[int, int]]:
+        """Shortcut wires at this node (the switch's extra inputs)."""
+        return [
+            (u, v)
+            for (u, v) in self.attached_wires()
+            if self.topology.link_kind(u, v) is LinkKind.SHORTCUT
+        ]
+
+    def ports_in_use(self) -> int:
+        """Router ports currently consumed by active wires."""
+        return self.topology.active_degree(self.node)
+
+    def free_ports(self) -> int:
+        """Ports available for switching in additional wires."""
+        return self.topology.num_ports - self.ports_in_use()
+
+    def can_activate(self, u: int, v: int) -> bool:
+        """Whether switching wire ``(u, v)`` in respects the port budget.
+
+        Both endpoints must be active nodes with a free port (a free
+        *out* port at ``u`` and *in* port at ``v`` in UNI mode — the
+        accounting below is conservative and simply requires a free
+        port at each endpoint).
+        """
+        topo = self.topology
+        if topo.link_kind(u, v) is None:
+            return False
+        if not (topo.is_active(u) and topo.is_active(v)):
+            return False
+        if self.node not in (u, v):
+            return False
+        other = v if u == self.node else u
+        if self.free_ports() < 1:
+            return False
+        other_switch = TopologySwitch(topo, other)
+        return other_switch.free_ports() >= 1
+
+    def mux_count(self) -> int:
+        """Number of 2:1 mux stages needed (hardware-cost accounting).
+
+        One mux per port that can alternatively attach a shortcut wire;
+        following Figure 7 the switch needs at most one mux per shortcut
+        wire at each of the input and output sides.
+        """
+        shortcuts = len(self.shortcut_wires())
+        if self.topology.direction is LinkDirection.UNI:
+            return shortcuts  # each uni wire needs a mux on one side only
+        return 2 * shortcuts

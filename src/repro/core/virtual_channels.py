@@ -1,0 +1,34 @@
+"""Two-virtual-channel deadlock avoidance (paper §IV-A).
+
+String Figure's greedy routing guarantees loop-free *paths*; cyclic
+*buffer* dependencies are broken with two virtual channels:
+
+* VC0 carries packets whose source space coordinate is lower than the
+  destination's;
+* VC1 carries packets routed from a higher coordinate to a lower one.
+
+Within one VC, packets only traverse strictly increasing (respectively
+decreasing) coordinates, so buffer wait-for graphs cannot close a
+cycle; the only remaining dependency is between the two VCs inside a
+router, which is insufficient to deadlock (Dally's argument, refs
+[36-38] of the paper).
+"""
+
+from __future__ import annotations
+
+__all__ = ["NUM_VIRTUAL_CHANNELS", "select_virtual_channel"]
+
+#: The design uses exactly two virtual channels.
+NUM_VIRTUAL_CHANNELS = 2
+
+
+def select_virtual_channel(src_coord: float, dst_coord: float) -> int:
+    """VC for a packet, from the space-0 coordinates of its endpoints.
+
+    Packets from a lower space coordinate toward a higher one ride VC0;
+    the opposite direction rides VC1.  Equal coordinates (possible only
+    under quantization) default to VC0 — both endpoints occupy the same
+    ring point, so the packet cannot contribute to an increasing *and*
+    a decreasing chain at once.
+    """
+    return 0 if src_coord <= dst_coord else 1

@@ -1,0 +1,12 @@
+"""Dynamic energy accounting and power management."""
+
+from repro.energy.model import EnergyBreakdown, EnergyModel, radix_energy_factor
+from repro.energy.power_gating import PowerGatingPlan, PowerManager
+
+__all__ = [
+    "EnergyBreakdown",
+    "EnergyModel",
+    "PowerGatingPlan",
+    "PowerManager",
+    "radix_energy_factor",
+]

@@ -1,0 +1,7 @@
+"""Memory-node substrate: address interleaving, DRAM timing, node model."""
+
+from repro.memory.address import AddressMapper
+from repro.memory.dram import DramModel
+from repro.memory.node import MemoryNode
+
+__all__ = ["AddressMapper", "DramModel", "MemoryNode"]

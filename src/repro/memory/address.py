@@ -1,0 +1,73 @@
+"""Physical-address-to-memory-node mapping.
+
+The paper distributes workload data "among the memory nodes based on
+their physical address".  We interleave the physical address space
+across the *active* nodes at a configurable granularity (default one
+4 KB page — coarse enough for row-buffer locality, fine enough to
+spread load), so down-scaling the network transparently remaps the
+address space onto the remaining nodes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["AddressMapper"]
+
+
+class AddressMapper:
+    """Interleaves physical addresses across a set of memory nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Active memory-node ids, in interleave order.
+    node_capacity_bytes:
+        Capacity per node (8 GB per the paper's working example).
+    interleave_bytes:
+        Contiguous block mapped to one node before moving to the next.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[int],
+        node_capacity_bytes: int = 8 << 30,
+        interleave_bytes: int = 4096,
+    ) -> None:
+        if not nodes:
+            raise ValueError("need at least one memory node")
+        if interleave_bytes <= 0 or interleave_bytes & (interleave_bytes - 1):
+            raise ValueError(
+                f"interleave_bytes must be a positive power of two, got "
+                f"{interleave_bytes}"
+            )
+        self.nodes = list(nodes)
+        self.node_capacity_bytes = node_capacity_bytes
+        self.interleave_bytes = interleave_bytes
+        self._shift = interleave_bytes.bit_length() - 1
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        """Total memory pool capacity."""
+        return self.node_capacity_bytes * len(self.nodes)
+
+    def node_of(self, addr: int) -> int:
+        """Memory node serving physical address *addr*."""
+        if addr < 0:
+            raise ValueError(f"negative address {addr:#x}")
+        block = addr >> self._shift
+        return self.nodes[block % len(self.nodes)]
+
+    def local_offset(self, addr: int) -> int:
+        """Byte offset of *addr* within its node's local address space."""
+        block = addr >> self._shift
+        local_block = block // len(self.nodes)
+        return (local_block << self._shift) | (addr & (self.interleave_bytes - 1))
+
+    def rebalance(self, nodes: Sequence[int]) -> "AddressMapper":
+        """Mapper for a new active node set (post-reconfiguration)."""
+        return AddressMapper(
+            nodes,
+            node_capacity_bytes=self.node_capacity_bytes,
+            interleave_bytes=self.interleave_bytes,
+        )

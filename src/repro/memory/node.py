@@ -1,0 +1,67 @@
+"""Memory-node service model: DRAM behind a single-issue controller.
+
+A memory node receives request packets from the network, queues them at
+its memory controller, serves them with DRAM timing, and (for reads)
+injects a response packet back to the requester.  The controller is
+work-conserving and serves one access at a time — enough fidelity to
+make hotspot destinations a realistic bottleneck without simulating a
+full scheduler.
+"""
+
+from __future__ import annotations
+
+from repro.memory.dram import DramModel
+from repro.network.config import NetworkConfig
+from repro.network.packet import Packet, PacketKind
+from repro.network.simulator import NetworkSimulator
+
+__all__ = ["MemoryNode"]
+
+
+class MemoryNode:
+    """DRAM + memory controller of one network node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: NetworkSimulator,
+        config: NetworkConfig | None = None,
+        num_banks: int = 8,
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.config = config or sim.config
+        self.dram = DramModel(self.config, num_banks=num_banks)
+        self._free_at = 0
+        self.served = 0
+
+    def service(
+        self, packet: Packet, now: int, local_addr: int, respond: bool = True
+    ) -> int:
+        """Serve a request packet; returns its completion time.
+
+        Reads trigger a response packet back to ``packet.src`` carrying
+        one cache line (suppressed with ``respond=False`` for accesses
+        local to the requesting socket); writes complete silently
+        (write acks are covered by the unmeasured background, as in the
+        paper's trace-driven setup).  DRAM energy is tallied on the
+        simulator's stats.
+        """
+        latency = self.dram.access_cycles(local_addr)
+        start = max(now, self._free_at)
+        done = start + latency
+        self._free_at = done
+        self.served += 1
+        self.sim.stats.dram_bits += 8 * self.config.cacheline_bytes
+        if respond and packet.kind is PacketKind.READ_REQ:
+            response = Packet(
+                src=self.node_id,
+                dst=packet.src,
+                size_flits=self.config.packet_flits(self.config.cacheline_bytes),
+                payload_bytes=self.config.cacheline_bytes,
+                kind=PacketKind.READ_RESP,
+                measured=packet.measured,
+                context=packet.context,
+            )
+            self.sim.send(response, done)
+        return done

@@ -1,0 +1,71 @@
+"""Packets traversing the memory network.
+
+A packet is the simulator's unit of routing and buffering; flit-level
+serialization is modeled as link occupancy time (a packet of ``size``
+flits holds its link for ``size`` cycles).  This packet-granularity
+virtual cut-through keeps thousand-node simulations tractable while
+preserving the queueing behaviour that determines latency and
+saturation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.core.routing import RouteState
+
+__all__ = ["Packet", "PacketKind"]
+
+_packet_ids = itertools.count()
+
+
+class PacketKind(str, Enum):
+    """What a packet carries; determines size and memory-side behaviour."""
+
+    DATA = "data"  # generic synthetic-traffic packet
+    READ_REQ = "read_req"
+    READ_RESP = "read_resp"
+    WRITE_REQ = "write_req"
+    WRITE_ACK = "write_ack"
+
+
+@dataclass
+class Packet:
+    """One network packet.
+
+    ``route_state`` carries the greedy protocol's per-packet state (the
+    two-hop commit and fallback-mode fields); ``context`` is an opaque
+    slot for higher layers (e.g. the trace-driven runner ties responses
+    back to requests through it).
+    """
+
+    src: int
+    dst: int
+    size_flits: int = 1
+    payload_bytes: int = 64
+    kind: PacketKind = PacketKind.DATA
+    vc: int = 0
+    inject_time: int = 0
+    measured: bool = True
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+    hops: int = 0
+    fallback_hops: int = 0
+    arrive_time: int | None = None
+    route_state: RouteState | None = None
+    context: Any = None
+
+    @property
+    def latency(self) -> int:
+        """End-to-end latency in cycles (valid after delivery)."""
+        if self.arrive_time is None:
+            raise ValueError(f"packet {self.pid} has not been delivered")
+        return self.arrive_time - self.inject_time
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(#{self.pid} {self.kind.value} {self.src}->{self.dst} "
+            f"vc={self.vc} size={self.size_flits})"
+        )

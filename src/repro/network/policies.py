@@ -1,0 +1,266 @@
+"""Routing-policy interface between topologies and the simulator.
+
+The simulator is topology-agnostic: it asks a :class:`RoutingPolicy`
+for each packet's next hop and virtual channel.  Policies receive a
+``port_load(node, neighbor) -> [0, 1]`` probe so adaptive schemes can
+divert around congested output ports (the hardware equivalent is the
+per-port packet counter of paper §IV-B).
+
+* :class:`GreedyPolicy` adapts the String Figure / S2 greediest
+  protocol (with its per-packet commit/fallback state).
+* :class:`TablePolicy` serves the baselines: it precomputes per-node
+  candidate tables (minimal next hops toward each destination) and
+  optionally picks adaptively among them.  This mirrors how mesh
+  (dimension-order + adaptive), flattened butterfly (minimal +
+  adaptive) and Jellyfish (k-shortest-path look-up) route.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.core.routing import AdaptiveGreediestRouting, GreediestRouting
+from repro.network.packet import Packet
+
+__all__ = ["RoutingPolicy", "GreedyPolicy", "TablePolicy", "MinimalPolicy"]
+
+PortLoad = Callable[[int, int], float]
+
+
+class RoutingPolicy(ABC):
+    """Per-packet forwarding decisions for the simulator."""
+
+    num_vcs: int = 2
+
+    @abstractmethod
+    def forward(
+        self, current: int, packet: Packet, port_load: PortLoad, first_hop: bool
+    ) -> int:
+        """Return the neighbor to forward *packet* to from *current*.
+
+        Implementations may read and update ``packet.route_state``.
+        """
+
+    @abstractmethod
+    def select_vc(self, src: int, dst: int) -> int:
+        """Virtual channel assignment for a new packet."""
+
+    def on_reconfigure(self) -> None:
+        """Invalidate any caches after a topology reconfiguration."""
+
+
+class GreedyPolicy(RoutingPolicy):
+    """String Figure / S2 greediest (optionally adaptive) routing.
+
+    ``cache=True`` memoizes pure-greedy forwarding decisions per
+    ``(current, dst)`` — the decision is a deterministic function of
+    the local table, so the cache is exact.  Adaptive first hops and
+    packets carrying commit/fallback state always take the computed
+    path.  The cache is dropped on reconfiguration.
+    """
+
+    def __init__(self, routing: GreediestRouting, cache: bool = True) -> None:
+        self.routing = routing
+        self.num_vcs = routing.num_vcs
+        self._adaptive = isinstance(routing, AdaptiveGreediestRouting)
+        self._cache_enabled = cache
+        self._cache: dict[tuple[int, int], tuple] = {}
+
+    def forward(
+        self, current: int, packet: Packet, port_load: PortLoad, first_hop: bool
+    ) -> int:
+        routing = self.routing
+        state = packet.route_state
+        plain = state is None or (state.commit is None and not state.in_fallback)
+        adaptive_hop = self._adaptive and first_hop
+        if self._cache_enabled and plain and not adaptive_hop:
+            key = (current, packet.dst)
+            hit = self._cache.get(key)
+            if hit is not None:
+                nxt, new_state = hit
+                packet.route_state = new_state
+                return nxt
+            nxt, new_state = routing.next_hop(
+                current, packet.dst, routing.dst_vector(packet.dst), state
+            )
+            if not new_state.in_fallback:
+                self._cache[key] = (nxt, new_state)
+            packet.route_state = new_state
+            if new_state.in_fallback:
+                packet.fallback_hops += 1
+            return nxt
+        dst_vec = routing.dst_vector(packet.dst)
+        if adaptive_hop:
+            nxt, new_state = routing.adaptive_next_hop(
+                current, packet.dst, port_load, first_hop, dst_vec, state
+            )
+        else:
+            nxt, new_state = routing.next_hop(
+                current, packet.dst, dst_vec, state
+            )
+        packet.route_state = new_state
+        if new_state is not None and new_state.in_fallback:
+            packet.fallback_hops += 1
+        return nxt
+
+    def select_vc(self, src: int, dst: int) -> int:
+        return self.routing.select_vc(src, dst)
+
+    def on_reconfigure(self) -> None:
+        self.routing.refresh_views()
+        self._cache.clear()
+
+
+class TablePolicy(RoutingPolicy):
+    """Precomputed candidate-table routing for baseline topologies.
+
+    Parameters
+    ----------
+    tables:
+        ``tables[node][dst]`` is a non-empty sequence of next-hop
+        neighbors, minimal-first.  Deterministic routing uses entry 0;
+        adaptive routing picks the least-loaded entry once the primary
+        port's occupancy crosses *congestion_threshold*.
+    adaptive:
+        Enable adaptive selection among the candidates.
+    vc_of:
+        Optional VC selector ``(src, dst) -> vc`` (defaults to an
+        id-ordering split, which breaks cyclic dependencies for the
+        table-built baselines the same way the paper's two-VC scheme
+        does for String Figure).
+    """
+
+    def __init__(
+        self,
+        tables: Mapping[int, Mapping[int, Sequence[int]]],
+        adaptive: bool = False,
+        congestion_threshold: float = 0.5,
+        num_vcs: int = 2,
+        vc_of: Callable[[int, int], int] | None = None,
+    ) -> None:
+        self.tables = tables
+        self.adaptive = adaptive
+        self.congestion_threshold = congestion_threshold
+        self.num_vcs = num_vcs
+        self._vc_of = vc_of
+
+    def forward(
+        self, current: int, packet: Packet, port_load: PortLoad, first_hop: bool
+    ) -> int:
+        candidates = self.tables[current][packet.dst]
+        primary = candidates[0]
+        if not self.adaptive or len(candidates) == 1:
+            return primary
+        if port_load(current, primary) < self.congestion_threshold:
+            return primary
+        return min(candidates, key=lambda w: (port_load(current, w), w))
+
+    def select_vc(self, src: int, dst: int) -> int:
+        if self._vc_of is not None:
+            return self._vc_of(src, dst)
+        if self.num_vcs < 2:
+            return 0
+        return 0 if src <= dst else 1
+
+    def route_length(self, src: int, dst: int) -> int:
+        """Deterministic path length through the tables (for tests)."""
+        hops = 0
+        current = src
+        seen = set()
+        while current != dst:
+            if current in seen:
+                raise RuntimeError(f"routing loop at {current} for {src}->{dst}")
+            seen.add(current)
+            current = self.tables[current][dst][0]
+            hops += 1
+        return hops
+
+
+class MinimalPolicy(RoutingPolicy):
+    """Minimal (shortest-path) routing over any graph, memory-scalable.
+
+    Stores an all-pairs distance matrix (int16, a few MB even at 1296
+    nodes) instead of explicit next-hop tables; the minimal candidate
+    set at each hop is recomputed from the neighbor list, which is
+    cheap because router radix is small.  Deterministic mode always
+    takes the first candidate under *preference* ordering; adaptive
+    mode (the paper's "minimal + adaptive" / "greedy + adaptive"
+    schemes for mesh and flattened butterfly) diverts to the least
+    loaded minimal port past the congestion threshold.
+
+    Routes are minimal, so hop counts strictly decrease — loop-free by
+    construction.  Deadlock handling matches the String Figure runs:
+    two VCs split by endpoint order plus the simulator's escape-buffer
+    recovery, keeping flow control identical across topology baselines.
+    """
+
+    def __init__(
+        self,
+        graph,
+        adaptive: bool = True,
+        congestion_threshold: float = 0.5,
+        num_vcs: int = 2,
+        preference: Callable[[int, int, int], float] | None = None,
+    ) -> None:
+        import networkx as nx
+        import numpy as np
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import shortest_path
+
+        self.adaptive = adaptive
+        self.congestion_threshold = congestion_threshold
+        self.num_vcs = num_vcs
+        self.preference = preference
+        nodes = sorted(graph.nodes())
+        self._ids = nodes
+        self._index = {node: i for i, node in enumerate(nodes)}
+        n = len(nodes)
+        adj = nx.to_scipy_sparse_array(graph, nodelist=nodes, format="csr")
+        dist = shortest_path(
+            csr_matrix(adj), method="D", unweighted=True, directed=graph.is_directed()
+        )
+        if np.isinf(dist).any():
+            raise ValueError("graph is not connected; minimal routing undefined")
+        self._dist = dist.astype(np.int32)
+        self._neighbors: dict[int, list[int]] = {
+            node: sorted(graph.successors(node))
+            if graph.is_directed()
+            else sorted(graph.neighbors(node))
+            for node in nodes
+        }
+
+    def distance(self, src: int, dst: int) -> int:
+        """Shortest-path distance between two nodes."""
+        return int(self._dist[self._index[src], self._index[dst]])
+
+    def candidates(self, current: int, dst: int) -> list[int]:
+        """Neighbors on a minimal path from *current* to *dst*."""
+        di = self._index[dst]
+        d = self._dist[self._index[current], di]
+        result = [
+            w for w in self._neighbors[current] if self._dist[self._index[w], di] < d
+        ]
+        if self.preference is not None:
+            result.sort(key=lambda w: (self.preference(current, dst, w), w))
+        return result
+
+    def forward(
+        self, current: int, packet: Packet, port_load: PortLoad, first_hop: bool
+    ) -> int:
+        options = self.candidates(current, packet.dst)
+        primary = options[0]
+        if not self.adaptive or len(options) == 1:
+            return primary
+        if port_load(current, primary) < self.congestion_threshold:
+            return primary
+        return min(options, key=lambda w: (port_load(current, w), w))
+
+    def select_vc(self, src: int, dst: int) -> int:
+        if self.num_vcs < 2:
+            return 0
+        return 0 if src <= dst else 1
+
+    def route_length(self, src: int, dst: int) -> int:
+        """Hop count of the (minimal) route — equals graph distance."""
+        return self.distance(src, dst)

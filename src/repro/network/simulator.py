@@ -1,0 +1,375 @@
+"""Discrete-event memory-network simulator.
+
+Models an input-buffered, virtual-channel router network at packet
+granularity with flit-accurate link serialization:
+
+* every directed link has one output queue per virtual channel at its
+  upstream router plus a credit counter sized to the downstream input
+  buffer (``buffer_packets`` per VC);
+* a packet of ``size_flits`` occupies its link for ``size_flits``
+  cycles (virtual cut-through), then spends SerDes and wire latency
+  before arriving at the next router;
+* a packet holds the credit of its inbound link until it starts
+  transmission on its outbound link (or is ejected), giving real
+  backpressure;
+* per-port packet counters expose queue occupancy to adaptive routing
+  policies, as in the paper's §IV-B hardware counters.
+
+Events are kept in a binary heap, so simulation cost scales with
+traffic, not with network size times cycles — which is what makes
+1296-node sweeps tractable in Python.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Callable, Iterable
+
+from repro.network.config import NetworkConfig
+from repro.network.packet import Packet
+from repro.network.policies import RoutingPolicy
+from repro.network.stats import SimStats
+
+__all__ = ["NetworkSimulator"]
+
+# Event codes (heap entries are (time, seq, code, a, b) tuples; tuples
+# beat closures by a wide margin in CPython).
+_ARRIVE = 0
+_LINK_FREE = 1
+_CALL = 2
+_WAKE = 3
+_STALL = 4
+
+
+class _OutPort:
+    """Per-directed-link output stage: one queue per VC plus link state.
+
+    ``channels`` > 1 models a link implemented as parallel physical
+    channels (the bandwidth-matched ODM baseline); each channel can
+    carry one packet at a time.
+    """
+
+    __slots__ = ("queues", "active_tx", "channels", "rr", "wake_at",
+                 "stall_armed", "reserve_debt")
+
+    def __init__(self, num_vcs: int, channels: int = 1) -> None:
+        self.queues: list[deque] = [deque() for _ in range(num_vcs)]
+        self.active_tx = 0
+        self.channels = channels
+        self.rr = 0
+        self.wake_at: int | None = None
+        self.stall_armed = False
+        # Reserve (escape) slots loaned per VC during deadlock recovery;
+        # repaid by that VC's next credit release.
+        self.reserve_debt: list[int] = [0] * num_vcs
+
+    def occupancy(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+    def total_reserve_debt(self) -> int:
+        return sum(self.reserve_debt)
+
+
+class NetworkSimulator:
+    """Event-driven simulation of one memory network.
+
+    Parameters
+    ----------
+    topology:
+        Object exposing ``active_nodes``, ``neighbors(v)`` and
+        ``num_nodes`` (String Figure topologies and all baselines do).
+    policy:
+        The :class:`~repro.network.policies.RoutingPolicy` making
+        per-packet forwarding decisions.
+    config:
+        :class:`~repro.network.config.NetworkConfig` timing/energy.
+    link_latency:
+        Optional ``(u, v) -> cycles`` override for per-link wire
+        latency (used with 2D placement; default is uniform
+        ``config.wire_cycles``).
+    """
+
+    def __init__(
+        self,
+        topology,
+        policy: RoutingPolicy,
+        config: NetworkConfig | None = None,
+        link_latency: Callable[[int, int], int] | None = None,
+    ) -> None:
+        self.topology = topology
+        self.policy = policy
+        self.config = config or NetworkConfig()
+        self.stats = SimStats()
+        self.stats.num_nodes = len(topology.active_nodes)
+        self.now = 0
+        self._heap: list[tuple] = []
+        self._seq = 0
+        self._ports: dict[tuple[int, int], _OutPort] = {}
+        self._credits: dict[tuple[int, int], list[int]] = {}
+        self._link_latency_fn = link_latency
+        self._link_latency_cache: dict[tuple[int, int], int] = {}
+        self._on_delivery: list[Callable[[Packet, int], None]] = []
+        self._events_processed = 0
+        self.max_events = 200_000_000
+
+    # -- wiring helpers -----------------------------------------------------
+
+    def _port(self, u: int, v: int) -> _OutPort:
+        port = self._ports.get((u, v))
+        if port is None:
+            channels = getattr(self.topology, "link_channels", None)
+            count = channels(u, v) if channels is not None else 1
+            port = _OutPort(self.policy.num_vcs, channels=count)
+            self._ports[(u, v)] = port
+            self._credits[(u, v)] = [
+                self.config.buffer_packets * count
+            ] * self.policy.num_vcs
+        return port
+
+    def _wire_cycles(self, u: int, v: int) -> int:
+        lat = self._link_latency_cache.get((u, v))
+        if lat is None:
+            if self._link_latency_fn is not None:
+                lat = self._link_latency_fn(u, v)
+            else:
+                lat = self.config.wire_cycles
+            self._link_latency_cache[(u, v)] = lat
+        return lat
+
+    def port_load(self, u: int, v: int) -> float:
+        """Output-queue occupancy fraction of link ``u -> v``."""
+        port = self._ports.get((u, v))
+        if port is None:
+            return 0.0
+        cap = self.config.buffer_packets * self.policy.num_vcs
+        return min(1.0, port.occupancy() / cap)
+
+    def on_delivery(self, callback: Callable[[Packet, int], None]) -> None:
+        """Register ``callback(packet, time)`` to run at each ejection."""
+        self._on_delivery.append(callback)
+
+    # -- scheduling --------------------------------------------------------------
+
+    def _push(self, time: int, code: int, a, b) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, code, a, b))
+
+    def schedule(self, time: int, callback: Callable[[int], None]) -> None:
+        """Run ``callback(now)`` at *time* (for traffic drivers, memory
+        service models, reconfiguration scripts, ...)."""
+        self._push(max(time, self.now), _CALL, callback, None)
+
+    def send(self, packet: Packet, time: int | None = None) -> None:
+        """Inject *packet* into the network at *time* (default: now).
+
+        Injection enters through the terminal port, so it consumes no
+        network credits; the source router makes its (adaptive)
+        decision when the packet arrives at the head of the NIC.
+        """
+        t = self.now if time is None else max(time, self.now)
+        packet.inject_time = t
+        packet.vc = self.policy.select_vc(packet.src, packet.dst)
+        self.stats.injected += int(packet.measured)
+        self._push(t, _ARRIVE, packet.src, (packet, None, True))
+
+    # -- event processing -------------------------------------------------------------
+
+    def _deliver(self, node: int, packet: Packet, from_link) -> None:
+        packet.arrive_time = self.now
+        self.stats.delivered += 1
+        if packet.measured:
+            self.stats.measured_delivered += 1
+            self.stats.latency.add(packet.latency)
+            self.stats.hops.add(packet.hops)
+            self.stats.flit_delivered += packet.size_flits
+            self.stats.fallback_hops += packet.fallback_hops
+            self.stats.total_hops += packet.hops
+        if from_link is not None:
+            self._release_credit(from_link, packet.vc)
+        for callback in self._on_delivery:
+            callback(packet, self.now)
+
+    def _process_arrival(self, node: int, payload) -> None:
+        packet, from_link, first_hop = payload
+        if node == packet.dst:
+            self._deliver(node, packet, from_link)
+            return
+        nxt = self.policy.forward(node, packet, self.port_load, first_hop)
+        port = self._port(node, nxt)
+        self.stats.queue_samples += 1
+        self.stats.queue_total += port.occupancy()
+        ready = self.now + self.config.router_cycles
+        port.queues[packet.vc].append((ready, packet, from_link))
+        self._try_send(node, nxt)
+
+    def _release_credit(self, link: tuple[int, int], vc: int) -> None:
+        port = self._ports[link]
+        if port.reserve_debt[vc] > 0:
+            # A reserve (escape) slot was loaned to this VC during
+            # deadlock recovery; repay it before restoring normal
+            # credits, so downstream buffering stays bounded.
+            port.reserve_debt[vc] -= 1
+        else:
+            self._credits[link][vc] += 1
+        self._try_send(link[0], link[1])
+
+    def _try_send(self, u: int, v: int) -> None:
+        port = self._ports[(u, v)]
+        now = self.now
+        if port.active_tx >= port.channels:
+            return  # the LINK_FREE event will retry
+        credits = self._credits[(u, v)]
+        num_vcs = len(port.queues)
+        chosen_vc = -1
+        min_ready: int | None = None
+        credit_blocked = False
+        for i in range(num_vcs):
+            vc = (port.rr + i) % num_vcs
+            queue = port.queues[vc]
+            if not queue:
+                continue
+            ready = queue[0][0]
+            if ready > now:
+                if min_ready is None or ready < min_ready:
+                    min_ready = ready
+                continue
+            if credits[vc] <= 0:
+                credit_blocked = True
+                continue  # retried on credit release
+            chosen_vc = vc
+            break
+        if chosen_vc < 0:
+            if min_ready is not None and (
+                port.wake_at is None or port.wake_at > min_ready
+            ):
+                port.wake_at = min_ready
+                self._push(min_ready, _WAKE, u, v)
+            if credit_blocked and not port.stall_armed:
+                port.stall_armed = True
+                self._push(now + self.config.deadlock_timeout_cycles, _STALL, u, v)
+            return
+        _ready, packet, from_link = port.queues[chosen_vc].popleft()
+        port.rr = (chosen_vc + 1) % num_vcs
+        credits[chosen_vc] -= 1
+        if from_link is not None:
+            self._release_credit(from_link, packet.vc)
+        port.active_tx += 1
+        tail = now + packet.size_flits
+        packet.hops += 1
+        bits = self.config.packet_bits(packet.payload_bytes)
+        self.stats.bit_hops += bits
+        self.stats.flit_hops += packet.size_flits
+        arrive = tail + self.config.serdes_cycles + self._wire_cycles(u, v)
+        self._push(tail, _LINK_FREE, u, v)
+        self._push(arrive, _ARRIVE, v, (packet, (u, v), False))
+        if port.active_tx < port.channels:
+            self._try_send(u, v)
+
+    def _recover_stall(self, u: int, v: int) -> None:
+        """Escape-buffer deadlock recovery (see module docstring).
+
+        If the link is still credit-blocked after the stall timeout,
+        loan one reserve buffer slot of the downstream router to the
+        blocked VC with the oldest head packet.  The loan is repaid by
+        the next credit release, so downstream buffering stays within
+        ``buffer_packets + reserve_slots`` per VC.
+        """
+        port = self._ports[(u, v)]
+        port.stall_armed = False
+        if port.active_tx >= port.channels:
+            return
+        credits = self._credits[(u, v)]
+        blocked = [
+            vc
+            for vc, queue in enumerate(port.queues)
+            if queue and queue[0][0] <= self.now and credits[vc] <= 0
+        ]
+        if not blocked:
+            return
+        if port.total_reserve_debt() >= self.config.reserve_slots:
+            # All reserve slots loaned out already; re-arm and wait.
+            port.stall_armed = True
+            self._push(
+                self.now + self.config.deadlock_timeout_cycles, _STALL, u, v
+            )
+            return
+        oldest_vc = min(blocked, key=lambda vc: port.queues[vc][0][0])
+        credits[oldest_vc] += 1
+        port.reserve_debt[oldest_vc] += 1
+        self.stats.deadlock_recoveries += 1
+        self._try_send(u, v)
+
+    # -- main loop ---------------------------------------------------------------------
+
+    def run(self, until: int | None = None) -> SimStats:
+        """Process events up to *until* cycles (or until the heap empties).
+
+        Events scheduled past *until* stay queued; call :meth:`drain`
+        (or ``run`` again) to let in-flight traffic finish after the
+        injection processes stop.
+        """
+        heap = self._heap
+        while heap:
+            time, _seq, code, a, b = heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(heap)
+            self.now = time
+            self._events_processed += 1
+            if self._events_processed > self.max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {self.max_events} events "
+                    "(livelock or runaway injection?)"
+                )
+            if code == _ARRIVE:
+                self._process_arrival(a, b)
+            elif code == _LINK_FREE:
+                port = self._ports[(a, b)]
+                port.active_tx -= 1
+                self._try_send(a, b)
+            elif code == _WAKE:
+                port = self._ports[(a, b)]
+                port.wake_at = None
+                self._try_send(a, b)
+            elif code == _STALL:
+                self._recover_stall(a, b)
+            else:  # _CALL
+                a(self.now)
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.stats
+
+    @property
+    def pending_events(self) -> int:
+        """Events still queued (0 = fully drained)."""
+        return len(self._heap)
+
+    def drain(self, limit: int | None = None) -> SimStats:
+        """Run until every queued event has been processed."""
+        return self.run(until=limit)
+
+
+def zero_load_latency(
+    config: NetworkConfig, hops: int, size_flits: int = 1
+) -> int:
+    """Analytic zero-load latency of a *hops*-hop route (for tests).
+
+    Each hop costs router pipeline + serialization + SerDes + wire.
+    """
+    per_hop = (
+        config.router_cycles
+        + size_flits
+        + config.serdes_cycles
+        + config.wire_cycles
+    )
+    return hops * per_hop
+
+
+def all_pairs_iter(nodes: Iterable[int]):
+    """Utility: ordered (src, dst) pairs with src != dst."""
+    nodes = list(nodes)
+    for a in nodes:
+        for b in nodes:
+            if a != b:
+                yield a, b

@@ -1,0 +1,134 @@
+"""Simulation statistics: latency, throughput, energy, queue occupancy."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["LatencyAccumulator", "SimStats"]
+
+
+@dataclass
+class LatencyAccumulator:
+    """Streaming mean/percentile-friendly latency accumulator."""
+
+    count: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+    maximum: float = 0.0
+    samples: list[float] = field(default_factory=list)
+    keep_samples: bool = True
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+        if value > self.maximum:
+            self.maximum = value
+        if self.keep_samples:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        if self.count < 2:
+            return 0.0
+        var = self.total_sq / self.count - self.mean**2
+        return math.sqrt(max(0.0, var))
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (0..100) of recorded samples."""
+        if not self.samples:
+            return 0.0
+        data = sorted(self.samples)
+        idx = min(len(data) - 1, max(0, round(q / 100.0 * (len(data) - 1))))
+        return data[idx]
+
+
+@dataclass
+class SimStats:
+    """Aggregate results of one simulation run.
+
+    Only packets flagged ``measured`` (injected inside the measurement
+    window) contribute to latency/hop statistics; energy counts all
+    traffic, since power is a whole-run property.
+    """
+
+    injected: int = 0
+    delivered: int = 0
+    measured_delivered: int = 0
+    flit_hops: int = 0
+    bit_hops: float = 0.0
+    dram_bits: float = 0.0
+    fallback_hops: int = 0
+    total_hops: int = 0
+    deadlock_recoveries: int = 0
+    latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+    hops: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+    measure_cycles: int = 0
+    num_nodes: int = 0
+    queue_samples: int = 0
+    queue_total: float = 0.0
+
+    @property
+    def avg_latency(self) -> float:
+        """Mean end-to-end packet latency (cycles) of measured packets."""
+        return self.latency.mean
+
+    @property
+    def avg_hops(self) -> float:
+        """Mean hop count of measured packets."""
+        return self.hops.mean
+
+    @property
+    def throughput_flits_per_node_cycle(self) -> float:
+        """Delivered measured flits per node per measurement cycle."""
+        if not (self.measure_cycles and self.num_nodes):
+            return 0.0
+        return self.flit_hops_delivered / (self.measure_cycles * self.num_nodes)
+
+    # flit_hops counts flit*hop products for energy; delivered flits for
+    # throughput are tracked separately:
+    flit_delivered: int = 0
+
+    @property
+    def flit_hops_delivered(self) -> float:
+        return float(self.flit_delivered)
+
+    @property
+    def accepted_rate(self) -> float:
+        """Delivered/injected ratio of measured packets (1.0 = stable)."""
+        if not self.injected:
+            return 1.0
+        return self.measured_delivered / self.injected
+
+    @property
+    def avg_queue_occupancy(self) -> float:
+        """Mean sampled output-queue occupancy (packets)."""
+        if not self.queue_samples:
+            return 0.0
+        return self.queue_total / self.queue_samples
+
+    def network_energy_pj(self, pj_per_bit_hop: float) -> float:
+        """Dynamic network energy (pJ) from bit-hop accounting."""
+        return self.bit_hops * pj_per_bit_hop
+
+    def dram_energy_pj(self, pj_per_bit: float) -> float:
+        """Dynamic DRAM energy (pJ) from bits read/written."""
+        return self.dram_bits * pj_per_bit
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict of headline metrics (handy for benches/tables)."""
+        return {
+            "injected": float(self.injected),
+            "delivered": float(self.delivered),
+            "avg_latency": self.avg_latency,
+            "p95_latency": self.latency.percentile(95),
+            "avg_hops": self.avg_hops,
+            "accepted_rate": self.accepted_rate,
+            "fallback_hops": float(self.fallback_hops),
+            "avg_queue": self.avg_queue_occupancy,
+        }

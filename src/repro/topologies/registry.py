@@ -1,0 +1,91 @@
+"""Factory for every evaluated topology + routing pairing (Figure 8).
+
+``make_topology`` builds any of the paper's six designs by name;
+``make_policy`` attaches the routing scheme the paper pairs with it:
+
+=========  ==========================  ==============================
+name       topology                    routing scheme
+=========  ==========================  ==============================
+DM         2D distributed mesh         XY (greedy) + adaptive
+ODM        bandwidth-matched mesh      XY (greedy) + adaptive
+FB         2D flattened butterfly      minimal + adaptive
+AFB        partitioned FB              minimal + adaptive
+S2         multi-space random (ideal)  greediest look-up table
+SF         String Figure               greediest + adaptive + table
+Jellyfish  random regular graph        k-shortest-path (minimal ECMP)
+=========  ==========================  ==============================
+
+Router ports for SF/S2 follow Figure 8: 4 network ports up to 128
+nodes, 8 beyond.
+"""
+
+from __future__ import annotations
+
+from repro.core.routing import AdaptiveGreediestRouting, GreediestRouting
+from repro.core.topology import S2Topology, StringFigureTopology
+from repro.network.policies import GreedyPolicy, RoutingPolicy
+from repro.topologies.flattened_butterfly import (
+    AdaptedFlattenedButterflyTopology,
+    FlattenedButterflyTopology,
+)
+from repro.topologies.jellyfish import JellyfishTopology
+from repro.topologies.mesh import MeshTopology, OptimizedMeshTopology
+
+__all__ = [
+    "TOPOLOGY_NAMES",
+    "figure8_ports",
+    "make_topology",
+    "make_policy",
+]
+
+TOPOLOGY_NAMES = ("DM", "ODM", "FB", "AFB", "S2", "SF", "Jellyfish")
+
+
+def figure8_ports(num_nodes: int) -> int:
+    """SF/S2 router ports at a given scale (Figure 8: 4 up to 128, else 8)."""
+    return 4 if num_nodes <= 128 else 8
+
+
+def make_topology(
+    name: str,
+    num_nodes: int,
+    seed: int | None = 0,
+    ports: int | None = None,
+    **kwargs,
+):
+    """Build a named topology at *num_nodes* scale.
+
+    ``ports`` overrides the Figure 8 port schedule for SF, S2 and
+    Jellyfish; extra ``kwargs`` reach the topology constructor (e.g.
+    ``channels`` for ODM, ``segment`` for AFB, ``direction`` for SF).
+    """
+    key = name.strip().lower()
+    if key in ("sf", "string-figure", "stringfigure", "string_figure"):
+        p = ports or figure8_ports(num_nodes)
+        return StringFigureTopology(num_nodes, p, seed=seed, **kwargs)
+    if key in ("s2", "s2-ideal", "s2ideal"):
+        p = ports or figure8_ports(num_nodes)
+        return S2Topology(num_nodes, p, seed=seed, **kwargs)
+    if key == "dm":
+        return MeshTopology(num_nodes, **kwargs)
+    if key == "odm":
+        return OptimizedMeshTopology(num_nodes, **kwargs)
+    if key == "fb":
+        return FlattenedButterflyTopology(num_nodes, **kwargs)
+    if key == "afb":
+        return AdaptedFlattenedButterflyTopology(num_nodes, **kwargs)
+    if key == "jellyfish":
+        degree = ports or figure8_ports(num_nodes)
+        return JellyfishTopology(num_nodes, degree=degree, seed=seed, **kwargs)
+    raise ValueError(f"unknown topology {name!r}; choose from {TOPOLOGY_NAMES}")
+
+
+def make_policy(topology, adaptive: bool = True, **kwargs) -> RoutingPolicy:
+    """Attach the paper's routing scheme to *topology*."""
+    if isinstance(topology, StringFigureTopology):
+        if adaptive:
+            routing = AdaptiveGreediestRouting(topology, **kwargs)
+        else:
+            routing = GreediestRouting(topology, **kwargs)
+        return GreedyPolicy(routing)
+    return topology.make_policy(adaptive=adaptive, **kwargs)

@@ -1,0 +1,33 @@
+"""Synthetic traffic patterns (paper Table III) and injection processes."""
+
+from repro.traffic.injection import BernoulliInjector, run_synthetic
+from repro.traffic.patterns import (
+    PATTERNS,
+    ComplementTraffic,
+    HotspotTraffic,
+    NearestNeighborTraffic,
+    OppositeTraffic,
+    Partition2Traffic,
+    TornadoTraffic,
+    TrafficPattern,
+    UniformRandomTraffic,
+    make_pattern,
+)
+from repro.traffic.sources import SOURCE_STRATEGIES, select_sources
+
+__all__ = [
+    "PATTERNS",
+    "SOURCE_STRATEGIES",
+    "BernoulliInjector",
+    "ComplementTraffic",
+    "HotspotTraffic",
+    "NearestNeighborTraffic",
+    "OppositeTraffic",
+    "Partition2Traffic",
+    "TornadoTraffic",
+    "TrafficPattern",
+    "UniformRandomTraffic",
+    "make_pattern",
+    "run_synthetic",
+    "select_sources",
+]

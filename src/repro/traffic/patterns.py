@@ -1,0 +1,193 @@
+"""Synthetic network traffic patterns (paper Table III).
+
+Every pattern maps a source node to a destination node over the
+currently active node set.  The paper defines patterns over node
+*indices* (``nports`` there denotes the number of nodes); we follow the
+same formulas, applied to the position of a node in the sorted active
+node list, so patterns remain meaningful on down-scaled networks.
+
+Patterns implemented (Table III):
+
+=================  =====================================================
+uniform_random     each node sends to a random destination
+tornado            ``dest = (src + N/2) mod N``
+hotspot            every node sends to one fixed destination
+opposite           ``dest = N - 1 - src`` (mirror)
+neighbor           ``dest = src + 1`` (nearest neighbor by node id)
+complement         ``dest = src XOR (N - 1)`` (bitwise complement)
+partition2         two halves; nodes send uniformly within their half
+=================  =====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+__all__ = [
+    "TrafficPattern",
+    "UniformRandomTraffic",
+    "TornadoTraffic",
+    "HotspotTraffic",
+    "OppositeTraffic",
+    "NearestNeighborTraffic",
+    "ComplementTraffic",
+    "Partition2Traffic",
+    "PATTERNS",
+    "make_pattern",
+]
+
+
+class TrafficPattern(ABC):
+    """Maps sources to destinations over an active node list."""
+
+    name: str = "abstract"
+
+    def __init__(self, nodes: Sequence[int]) -> None:
+        if len(nodes) < 2:
+            raise ValueError("traffic needs at least two nodes")
+        self.nodes = list(nodes)
+        self.index = {node: i for i, node in enumerate(self.nodes)}
+
+    @property
+    def n(self) -> int:
+        return len(self.nodes)
+
+    @abstractmethod
+    def destination(self, src: int, rng: random.Random) -> int:
+        """Destination node for a packet injected at *src*."""
+
+    def _position(self, src: int) -> int:
+        try:
+            return self.index[src]
+        except KeyError:
+            raise ValueError(f"node {src} is not in the active node set") from None
+
+
+class UniformRandomTraffic(TrafficPattern):
+    """Each node produces requests to a random destination node."""
+
+    name = "uniform_random"
+
+    def destination(self, src: int, rng: random.Random) -> int:
+        while True:
+            dst = self.nodes[rng.randrange(self.n)]
+            if dst != src:
+                return dst
+
+
+class TornadoTraffic(TrafficPattern):
+    """Nodes send packets to a destination halfway around the network."""
+
+    name = "tornado"
+
+    def destination(self, src: int, rng: random.Random) -> int:
+        i = self._position(src)
+        return self.nodes[(i + self.n // 2) % self.n]
+
+
+class HotspotTraffic(TrafficPattern):
+    """Every node produces requests to the same single destination."""
+
+    name = "hotspot"
+
+    def __init__(self, nodes: Sequence[int], hotspot: int | None = None) -> None:
+        super().__init__(nodes)
+        self.hotspot = self.nodes[0] if hotspot is None else hotspot
+        if self.hotspot not in self.index:
+            raise ValueError(f"hotspot {self.hotspot} is not an active node")
+
+    def destination(self, src: int, rng: random.Random) -> int:
+        if src == self.hotspot:
+            # The hotspot itself picks a random victim, keeping every
+            # node injecting as the paper's setup does.
+            while True:
+                dst = self.nodes[rng.randrange(self.n)]
+                if dst != src:
+                    return dst
+        return self.hotspot
+
+
+class OppositeTraffic(TrafficPattern):
+    """Traffic to the opposite side of the network, like a mirror."""
+
+    name = "opposite"
+
+    def destination(self, src: int, rng: random.Random) -> int:
+        i = self._position(src)
+        j = self.n - 1 - i
+        if j == i:
+            j = (i + 1) % self.n
+        return self.nodes[j]
+
+
+class NearestNeighborTraffic(TrafficPattern):
+    """Each node sends requests to its nearest neighbor node, one away.
+
+    Note (paper §VI): "neighboring" is by router id, not by hop count —
+    on String Figure the id-successor is generally *not* one hop away,
+    which is why mesh beats SF on this pattern.
+    """
+
+    name = "neighbor"
+
+    def destination(self, src: int, rng: random.Random) -> int:
+        i = self._position(src)
+        return self.nodes[(i + 1) % self.n]
+
+
+class ComplementTraffic(TrafficPattern):
+    """Nodes send requests to their bitwise-complement destination."""
+
+    name = "complement"
+
+    def destination(self, src: int, rng: random.Random) -> int:
+        i = self._position(src)
+        mask = (1 << max(1, (self.n - 1).bit_length())) - 1
+        j = (i ^ mask) % self.n
+        if j == i:
+            j = (i + 1) % self.n
+        return self.nodes[j]
+
+
+class Partition2Traffic(TrafficPattern):
+    """Network split into two groups; nodes send randomly within theirs."""
+
+    name = "partition2"
+
+    def destination(self, src: int, rng: random.Random) -> int:
+        i = self._position(src)
+        half = self.n // 2
+        lo, hi = (0, half) if i < half else (half, self.n)
+        if hi - lo < 2:
+            return self.nodes[(i + 1) % self.n]
+        while True:
+            j = rng.randrange(lo, hi)
+            if self.nodes[j] != src:
+                return self.nodes[j]
+
+
+PATTERNS: dict[str, type[TrafficPattern]] = {
+    cls.name: cls
+    for cls in (
+        UniformRandomTraffic,
+        TornadoTraffic,
+        HotspotTraffic,
+        OppositeTraffic,
+        NearestNeighborTraffic,
+        ComplementTraffic,
+        Partition2Traffic,
+    )
+}
+
+
+def make_pattern(name: str, nodes: Sequence[int], **kwargs) -> TrafficPattern:
+    """Instantiate a Table III pattern by name."""
+    try:
+        cls = PATTERNS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown traffic pattern {name!r}; choose from {sorted(PATTERNS)}"
+        ) from None
+    return cls(nodes, **kwargs)

@@ -1,0 +1,83 @@
+"""Processor attachment strategies (paper §IV-C "Processor placement").
+
+String Figure lets processors attach to any subset of memory nodes;
+the paper's evaluation "examines ways of injecting memory traffic from
+various locations, such as corner memory nodes, subset of memory
+nodes, random memory nodes, and all memory nodes".  These helpers
+produce the injecting-source sets for each strategy:
+
+============  ====================================================
+all           every memory node injects (the Figure 10/11 default)
+corner        the four corners of the 2D placement grid
+subset        every k-th node in id order (evenly spread sockets)
+random        a seeded random sample of nodes
+============  ====================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.utils.rng import derive_rng
+
+__all__ = ["SOURCE_STRATEGIES", "select_sources"]
+
+SOURCE_STRATEGIES = ("all", "corner", "subset", "random")
+
+
+def _corner_nodes(topology, active: list[int], count: int) -> list[int]:
+    """Nodes at the corners of the topology's 2D placement grid."""
+    from repro.analysis.placement import GridPlacement
+
+    placement = GridPlacement(topology)
+    by_position = {placement.position(v): v for v in active}
+    rows = max(r for r, _c in by_position) if by_position else 0
+    cols = max(c for _r, c in by_position) if by_position else 0
+
+    def nearest(target: tuple[int, int]) -> int:
+        return min(
+            active,
+            key=lambda v: abs(placement.position(v)[0] - target[0])
+            + abs(placement.position(v)[1] - target[1]),
+        )
+
+    corners = [(0, 0), (0, cols), (rows, 0), (rows, cols)]
+    picked: list[int] = []
+    for corner in corners[:count]:
+        node = nearest(corner)
+        if node not in picked:
+            picked.append(node)
+    return picked
+
+
+def select_sources(
+    topology,
+    strategy: str,
+    count: int = 4,
+    seed: int | None = 0,
+    active: Sequence[int] | None = None,
+) -> list[int]:
+    """Injecting nodes for a processor-placement *strategy*.
+
+    ``count`` is the number of attachment points for the ``corner``,
+    ``subset`` and ``random`` strategies (the paper's working example
+    has four CPU sockets); ``all`` ignores it.
+    """
+    nodes = list(topology.active_nodes if active is None else active)
+    if not nodes:
+        raise ValueError("no active nodes to attach processors to")
+    if strategy == "all":
+        return nodes
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    count = min(count, len(nodes))
+    if strategy == "corner":
+        return _corner_nodes(topology, nodes, count)
+    if strategy == "subset":
+        return [nodes[(i * len(nodes)) // count] for i in range(count)]
+    if strategy == "random":
+        rng = derive_rng(seed, "sources", strategy)
+        return sorted(rng.sample(nodes, count))
+    raise ValueError(
+        f"unknown strategy {strategy!r}; choose from {SOURCE_STRATEGIES}"
+    )

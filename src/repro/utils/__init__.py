@@ -1,0 +1,5 @@
+"""Shared utilities: deterministic RNG helpers and small data structures."""
+
+from repro.utils.rng import derive_rng, make_rng
+
+__all__ = ["derive_rng", "make_rng"]

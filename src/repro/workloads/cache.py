@@ -1,0 +1,144 @@
+"""The trace generator's cache hierarchy (paper §V).
+
+"Our trace generator models a cache hierarchy with 32KB L1, 2MB L2,
+and 32MB L3 with associativities of 4, 8, and 16, respectively."
+
+The model is an inclusive, write-back, write-allocate hierarchy with
+LRU replacement and 64 B lines.  Only accesses that miss all three
+levels (plus dirty L3 evictions) reach the memory network — these are
+the trace events the network simulation consumes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["CacheLevel", "CacheHierarchy"]
+
+
+class CacheLevel:
+    """One set-associative, write-back, LRU cache level."""
+
+    def __init__(self, name: str, size_bytes: int, assoc: int, line_bytes: int = 64):
+        if size_bytes % (assoc * line_bytes):
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by assoc*line "
+                f"({assoc}*{line_bytes})"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        # each set: OrderedDict line_addr -> dirty flag (LRU order)
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_of(self, line_addr: int) -> OrderedDict[int, bool]:
+        return self._sets[line_addr % self.num_sets]
+
+    def lookup(self, line_addr: int, is_write: bool) -> bool:
+        """Probe for a line; on hit, update LRU and dirty state."""
+        cache_set = self._set_of(line_addr)
+        if line_addr in cache_set:
+            cache_set.move_to_end(line_addr)
+            if is_write:
+                cache_set[line_addr] = True
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, line_addr: int, dirty: bool) -> tuple[int, bool] | None:
+        """Insert a line; returns the evicted ``(line, dirty)`` if any."""
+        cache_set = self._set_of(line_addr)
+        victim = None
+        if line_addr not in cache_set and len(cache_set) >= self.assoc:
+            victim = cache_set.popitem(last=False)
+        cache_set[line_addr] = dirty or cache_set.get(line_addr, False)
+        cache_set.move_to_end(line_addr)
+        return victim
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line (inclusion enforcement); returns its dirty bit."""
+        cache_set = self._set_of(line_addr)
+        return bool(cache_set.pop(line_addr, False))
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CacheHierarchy:
+    """The paper's three-level hierarchy in front of the memory network.
+
+    ``scale`` shrinks every level proportionally (down to one set per
+    level) for scaled-down workload runs, keeping miss and writeback
+    behaviour representative when footprints are scaled the same way.
+    """
+
+    def __init__(self, line_bytes: int = 64, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.line_bytes = line_bytes
+        self.scale = scale
+
+        def size(base: int, assoc: int) -> int:
+            want = int(base * scale)
+            unit = assoc * line_bytes
+            return max(unit, (want // unit) * unit)
+
+        self.l1 = CacheLevel("L1", size(32 << 10, 4), 4, line_bytes)
+        self.l2 = CacheLevel("L2", size(2 << 20, 8), 8, line_bytes)
+        self.l3 = CacheLevel("L3", size(32 << 20, 16), 16, line_bytes)
+        self.levels = (self.l1, self.l2, self.l3)
+
+    def access(self, addr: int, is_write: bool) -> list[tuple[int, bool]]:
+        """Run one CPU access through the hierarchy.
+
+        Returns the memory-network accesses it generates as
+        ``(byte_address, is_write)`` pairs: a read for the demand fill
+        on an all-levels miss, plus a write per dirty line evicted from
+        the L3.  An empty list means the access was absorbed by cache.
+        """
+        line = addr // self.line_bytes
+        for i, level in enumerate(self.levels):
+            if level.lookup(line, is_write):
+                # Fill upward so inner levels learn the line (inclusive).
+                self._fill_upward(line, i, is_write)
+                return []
+        # Miss everywhere: demand read from memory, then fill all levels.
+        memory_ops = [(line * self.line_bytes, False)]
+        memory_ops.extend(self._fill_all(line, is_write))
+        return memory_ops
+
+    def _fill_upward(self, line: int, hit_level: int, is_write: bool) -> None:
+        for j in range(hit_level):
+            victim = self.levels[j].fill(line, dirty=is_write and j == 0)
+            if victim is not None:
+                v_line, v_dirty = victim
+                # Write-back into the next level down.
+                self.levels[j + 1].fill(v_line, v_dirty)
+
+    def _fill_all(self, line: int, is_write: bool) -> list[tuple[int, bool]]:
+        memory_ops: list[tuple[int, bool]] = []
+        for j, level in enumerate(self.levels):
+            victim = level.fill(line, dirty=is_write and j == 0)
+            if victim is None:
+                continue
+            v_line, v_dirty = victim
+            if j + 1 < len(self.levels):
+                self.levels[j + 1].fill(v_line, v_dirty)
+            elif v_dirty:
+                memory_ops.append((v_line * self.line_bytes, True))
+        return memory_ops
+
+    def miss_rates(self) -> dict[str, float]:
+        """Per-level miss rates (for trace sanity checks)."""
+        return {
+            level.name: 1.0 - level.hit_rate for level in self.levels
+        }

@@ -1,0 +1,288 @@
+"""Synthetic address-stream generators for the Table IV workloads.
+
+Each generator yields ``(op_count, address, is_write)`` CPU accesses
+whose spatial pattern and read/write mix match the workload class the
+paper traces:
+
+==============  ====================================================
+wordcount       streaming scan + zipfian hash-table updates
+grep            near-pure streaming scan, rare result-buffer writes
+sort            multi-phase sequential runs (read input, write runs,
+                merge with interleaved streams)
+pagerank        power-law vertex access + sequential edge bursts
+                (11M-vertex-Twitter-like skew)
+redis           zipfian key-value get/set, multi-line values
+memcached       zipfian get/set with ratio 0.8, small values
+matmul          blocked dense matrix multiply, strided reuse
+kmeans          repeated streaming over points, hot centroid block
+==============  ====================================================
+
+Footprints default to hundreds of MB so the streams genuinely miss the
+32 MB L3; benches scale them with the ``scale`` parameter.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import stable_hash
+
+__all__ = ["Workload", "WORKLOADS", "make_workload"]
+
+LINE = 64
+
+Access = tuple[int, bool]  # (byte address, is_write)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named workload: metadata plus an access-stream factory."""
+
+    name: str
+    description: str
+    footprint_bytes: int
+    read_fraction: float  # nominal, for documentation/tests
+    generator: "callable"
+
+    def stream(self, seed: int = 0, scale: float = 1.0) -> Iterator[Access]:
+        """Infinite iterator of CPU accesses."""
+        return self.generator(
+            int(self.footprint_bytes * scale), random.Random(stable_hash(self.name, seed))
+        )
+
+
+class _Zipf:
+    """Bounded Zipf sampler over ``n`` items with exponent *alpha*."""
+
+    def __init__(self, n: int, alpha: float, rng: random.Random) -> None:
+        self.n = n
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        weights = ranks**-alpha
+        self._cdf = np.cumsum(weights / weights.sum())
+        self._rng = rng
+        # Random permutation so hot items are scattered across memory.
+        self._perm = np.random.RandomState(rng.randrange(2**31)).permutation(n)
+
+    def sample(self) -> int:
+        u = self._rng.random()
+        return int(self._perm[int(np.searchsorted(self._cdf, u))])
+
+
+def _stream_wordcount(footprint: int, rng: random.Random) -> Iterator[Access]:
+    """Sequential input scan + zipfian hash-table read-modify-writes."""
+    input_bytes = footprint * 3 // 4
+    table_entries = max(1024, footprint // 4 // LINE)
+    table_base = input_bytes
+    zipf = _Zipf(table_entries, 0.98, rng)
+    pos = 0
+    while True:
+        yield (pos % input_bytes, False)  # read a chunk of input text
+        pos += LINE
+        if rng.random() < 0.5:  # word boundary -> hash table update
+            entry = zipf.sample()
+            addr = table_base + entry * LINE
+            yield (addr, False)
+            yield (addr, True)
+
+
+def _stream_grep(footprint: int, rng: random.Random) -> Iterator[Access]:
+    """Streaming text scan; matches write to a small result buffer."""
+    input_bytes = footprint
+    result_base = footprint
+    result_lines = 4096
+    pos = 0
+    hits = 0
+    while True:
+        yield (pos % input_bytes, False)
+        pos += LINE
+        if rng.random() < 0.02:  # a match
+            yield (result_base + (hits % result_lines) * LINE, True)
+            hits += 1
+
+
+def _stream_sort(footprint: int, rng: random.Random) -> Iterator[Access]:
+    """External-sort phases: run generation then multi-way merge."""
+    half = footprint // 2
+    run_bytes = half // 8
+    while True:
+        # Phase 1: read input runs sequentially, write sorted runs.
+        for run in range(8):
+            base_in = run * run_bytes
+            base_out = half + run * run_bytes
+            for off in range(0, run_bytes, LINE):
+                yield (base_in + off, False)
+                yield (base_out + off, True)
+        # Phase 2: merge the 8 runs back (interleaved stream reads).
+        cursors = [half + run * run_bytes for run in range(8)]
+        out = 0
+        for _ in range(run_bytes // LINE * 8):
+            run = rng.randrange(8)
+            yield (cursors[run], False)
+            cursors[run] += LINE
+            if cursors[run] >= half + (run + 1) * run_bytes:
+                cursors[run] = half + run * run_bytes
+            yield (out % half, True)
+            out += LINE
+
+
+def _stream_pagerank(footprint: int, rng: random.Random) -> Iterator[Access]:
+    """Power-law graph traversal: ranks + offsets + edge bursts."""
+    num_vertices = max(4096, footprint // 3 // 8)
+    rank_base = 0
+    edge_base = num_vertices * 16
+    edge_bytes = footprint - edge_base if footprint > edge_base else footprint // 2
+    zipf = _Zipf(num_vertices, 1.1, rng)
+    while True:
+        v = zipf.sample()
+        yield (rank_base + v * 8, False)  # read rank
+        # Edge list burst: power-law out-degree (1..64 lines).
+        degree = min(64, max(1, int(rng.paretovariate(1.3))))
+        edge_pos = (stable_hash("edges", v) % max(1, edge_bytes // LINE)) * LINE
+        for i in range(degree):
+            yield (edge_base + (edge_pos + i * LINE) % edge_bytes, False)
+        yield (rank_base + v * 8, True)  # write new rank
+
+
+def _kv_stream(
+    footprint: int,
+    rng: random.Random,
+    get_fraction: float,
+    value_lines: int,
+    alpha: float,
+) -> Iterator[Access]:
+    """Zipfian key-value store accesses (shared by redis/memcached)."""
+    num_keys = max(4096, footprint // (value_lines * LINE + LINE))
+    index_base = 0
+    value_base = num_keys * LINE
+    zipf = _Zipf(num_keys, alpha, rng)
+    while True:
+        key = zipf.sample()
+        yield (index_base + key * LINE, False)  # hash-index lookup
+        value_addr = value_base + key * value_lines * LINE
+        is_set = rng.random() >= get_fraction
+        for i in range(value_lines):
+            yield (value_addr + i * LINE, is_set)
+
+
+def _stream_redis(footprint: int, rng: random.Random) -> Iterator[Access]:
+    """Redis benchmark: 50 clients / 100k queries; ~70% GET, 256 B values."""
+    return _kv_stream(footprint, rng, get_fraction=0.7, value_lines=4, alpha=0.99)
+
+
+def _stream_memcached(footprint: int, rng: random.Random) -> Iterator[Access]:
+    """CloudSuite data caching: get/set ratio 0.8, small values."""
+    return _kv_stream(footprint, rng, get_fraction=0.8, value_lines=2, alpha=1.01)
+
+
+def _stream_matmul(footprint: int, rng: random.Random) -> Iterator[Access]:
+    """Blocked dense C = A x B with 64x64 double blocks."""
+    matrix_bytes = footprint // 3
+    n = max(256, int((matrix_bytes / 8) ** 0.5) // 64 * 64)
+    block = 64
+    a_base, b_base, c_base = 0, matrix_bytes, 2 * matrix_bytes
+    blocks = n // block
+    while True:
+        for bi in range(blocks):
+            for bj in range(blocks):
+                for bk in range(blocks):
+                    # Read A(bi,bk) and B(bk,bj) blocks, update C(bi,bj).
+                    for row in range(0, block, 8):  # 8 doubles per line
+                        yield (a_base + ((bi * block + row) * n + bk * block) * 8, False)
+                        yield (b_base + ((bk * block + row) * n + bj * block) * 8, False)
+                    for row in range(0, block, 8):
+                        addr = c_base + ((bi * block + row) * n + bj * block) * 8
+                        yield (addr, False)
+                        yield (addr, True)
+
+
+def _stream_kmeans(footprint: int, rng: random.Random) -> Iterator[Access]:
+    """K-means: stream all points each iteration; centroids stay hot."""
+    k = 64
+    point_bytes = footprint - k * LINE
+    centroid_base = point_bytes
+    while True:
+        for pos in range(0, point_bytes, LINE):
+            yield (pos, False)  # read point
+            c = rng.randrange(k)
+            yield (centroid_base + c * LINE, False)  # nearest centroid
+            if rng.random() < 0.1:
+                yield (centroid_base + c * LINE, True)  # accumulator update
+
+
+_MB = 1 << 20
+
+WORKLOADS: dict[str, Workload] = {
+    w.name: w
+    for w in (
+        Workload(
+            "wordcount",
+            "Spark wordcount over the Wikipedia data set (BigDataBench)",
+            512 * _MB,
+            0.80,
+            _stream_wordcount,
+        ),
+        Workload(
+            "grep",
+            "Spark grep over the Wikipedia data set (BigDataBench)",
+            512 * _MB,
+            0.98,
+            _stream_grep,
+        ),
+        Workload(
+            "sort",
+            "Spark sort-by-key over the Wikipedia data set (BigDataBench)",
+            512 * _MB,
+            0.50,
+            _stream_sort,
+        ),
+        Workload(
+            "pagerank",
+            "Twitter-influence PageRank (CloudSuite graph analytics)",
+            768 * _MB,
+            0.90,
+            _stream_pagerank,
+        ),
+        Workload(
+            "redis",
+            "Redis benchmark, 50 clients, 100k queries",
+            512 * _MB,
+            0.76,
+            _stream_redis,
+        ),
+        Workload(
+            "memcached",
+            "CloudSuite Twitter caching server, get/set ratio 0.8",
+            512 * _MB,
+            0.87,
+            _stream_memcached,
+        ),
+        Workload(
+            "matmul",
+            "Large dense matrix multiply held in memory",
+            384 * _MB,
+            0.83,
+            _stream_matmul,
+        ),
+        Workload(
+            "kmeans",
+            "K-means clustering over n observations",
+            512 * _MB,
+            0.95,
+            _stream_kmeans,
+        ),
+    )
+}
+
+
+def make_workload(name: str) -> Workload:
+    """Look up a Table IV workload by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None

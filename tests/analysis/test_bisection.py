@@ -1,0 +1,49 @@
+"""Empirical bisection bandwidth."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.analysis.bisection import empirical_bisection, matched_channels
+
+
+class TestKnownGraphs:
+    def test_cycle_bisection_bounds(self):
+        """The empirical estimate upper-bounds the true bisection (2
+        for a cycle) and cannot exceed the edge count."""
+        g = nx.cycle_graph(16)
+        value = empirical_bisection(g, partitions=30, seed=1)
+        assert 2.0 <= value <= g.number_of_edges()
+        # A contiguous split realizes the true minimum of 2.
+        from repro.analysis.bisection import _partition_max_flow
+
+        flow = _partition_max_flow(g, set(range(8)), set(range(8, 16)))
+        assert flow == 2.0
+
+    def test_complete_graph(self):
+        value = empirical_bisection(nx.complete_graph(8), partitions=10, seed=1)
+        assert value == 16.0  # 4x4 edges across any balanced split
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            empirical_bisection(nx.Graph())
+
+    def test_deterministic(self):
+        g = nx.random_regular_graph(4, 20, seed=3)
+        a = empirical_bisection(g, partitions=10, seed=5)
+        b = empirical_bisection(g, partitions=10, seed=5)
+        assert a == b
+
+
+class TestMatching:
+    def test_richer_reference_needs_channels(self):
+        reference = nx.complete_graph(16)
+        mesh = nx.grid_2d_graph(4, 4)
+        mesh = nx.convert_node_labels_to_integers(mesh)
+        channels = matched_channels(reference, mesh, partitions=10, seed=1)
+        assert channels >= 2
+
+    def test_equal_graphs_one_channel(self):
+        g = nx.cycle_graph(12)
+        assert matched_channels(g, g, partitions=10, seed=1) == 1

@@ -1,0 +1,69 @@
+"""Path-length statistics."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.analysis.paths import PathStats, greedy_path_stats, shortest_path_stats
+from repro.core.routing import GreediestRouting
+from repro.core.topology import StringFigureTopology
+
+
+class TestPathStats:
+    def test_from_lengths(self):
+        stats = PathStats.from_lengths([1, 2, 3, 4, 5])
+        assert stats.mean == 3.0
+        assert stats.maximum == 5
+        assert stats.samples == 5
+
+    def test_percentiles(self):
+        stats = PathStats.from_lengths(list(range(1, 101)))
+        assert stats.p10 == pytest.approx(11, abs=1)
+        assert stats.p90 == pytest.approx(90, abs=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PathStats.from_lengths([])
+
+
+class TestShortestPaths:
+    def test_cycle_graph_exact(self):
+        stats = shortest_path_stats(nx.cycle_graph(10), sample_sources=None)
+        # Mean distance on C10: (1+1+2+2+3+3+4+4+5)/9 = 25/9.
+        assert stats.mean == pytest.approx(25 / 9)
+
+    def test_complete_graph(self):
+        stats = shortest_path_stats(nx.complete_graph(8), sample_sources=None)
+        assert stats.mean == 1.0
+        assert stats.maximum == 1
+
+    def test_sampling_close_to_exact(self):
+        topo = StringFigureTopology(100, 4, seed=1)
+        g = topo.graph()
+        exact = shortest_path_stats(g, sample_sources=None)
+        sampled = shortest_path_stats(g, sample_sources=40, seed=2)
+        assert sampled.mean == pytest.approx(exact.mean, rel=0.1)
+
+
+class TestGreedyPaths:
+    def test_greedy_at_least_optimal(self):
+        topo = StringFigureTopology(60, 4, seed=3)
+        routing = GreediestRouting(topo)
+        greedy = greedy_path_stats(routing, sample_pairs=1000, seed=1)
+        optimal = shortest_path_stats(topo.graph(), sample_sources=None)
+        assert greedy.mean >= optimal.mean
+
+    def test_greedy_close_to_optimal(self):
+        """Greediest paths stay within ~60% of true shortest paths."""
+        topo = StringFigureTopology(60, 4, seed=3)
+        routing = GreediestRouting(topo)
+        greedy = greedy_path_stats(routing, sample_pairs=1000, seed=1)
+        optimal = shortest_path_stats(topo.graph(), sample_sources=None)
+        assert greedy.mean <= 1.6 * optimal.mean
+
+    def test_exhaustive_small(self):
+        topo = StringFigureTopology(10, 4, seed=3)
+        routing = GreediestRouting(topo)
+        stats = greedy_path_stats(routing, sample_pairs=10_000)
+        assert stats.samples == 10 * 9

@@ -1,0 +1,86 @@
+"""2D grid placement and wire-length modeling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.placement import GridPlacement
+from repro.core.topology import StringFigureTopology
+from repro.network.config import NetworkConfig
+from repro.topologies.mesh import MeshTopology
+
+
+@pytest.fixture
+def placement():
+    return GridPlacement(StringFigureTopology(64, 4, seed=5))
+
+
+class TestGeometry:
+    def test_positions_unique(self, placement):
+        positions = [placement.position(v) for v in range(64)]
+        assert len(set(positions)) == 64
+
+    def test_positions_in_grid(self, placement):
+        for v in range(64):
+            r, c = placement.position(v)
+            assert 0 <= r < placement.rows
+            assert 0 <= c < placement.cols
+
+    def test_ring_successors_adjacent(self, placement):
+        """Boustrophedon placement keeps most ring-0 successors at
+        unit distance."""
+        topo = placement.topology
+        ring = topo.coords.ring(0)
+        adjacent = sum(
+            1
+            for a, b in zip(ring, ring[1:])
+            if placement.wire_length(a, b) == 1
+        )
+        assert adjacent / (len(ring) - 1) > 0.9
+
+    def test_wire_length_symmetric(self, placement):
+        assert placement.wire_length(3, 9) == placement.wire_length(9, 3)
+
+
+class TestLatency:
+    def test_short_wire_base_latency(self, placement):
+        cfg = NetworkConfig()
+        topo = placement.topology
+        ring = topo.coords.ring(0)
+        assert placement.link_latency(ring[0], ring[1]) == cfg.wire_cycles
+
+    def test_long_wire_penalty(self, placement):
+        cfg = NetworkConfig()
+        # find the longest wire
+        links = placement._links()
+        u, v = max(links, key=lambda link: placement.wire_length(*link))
+        if placement.wire_length(u, v) > cfg.long_wire_grid_units:
+            assert placement.link_latency(u, v) > cfg.wire_cycles
+
+    def test_latency_fn_usable_by_simulator(self, placement):
+        fn = placement.latency_fn()
+        assert fn(0, 1) >= 1
+
+
+class TestStats:
+    def test_wire_stats_keys(self, placement):
+        stats = placement.wire_stats()
+        assert set(stats) == {"mean", "max", "long_fraction"}
+        assert stats["mean"] <= stats["max"]
+
+    def test_mesh_wires_all_short(self):
+        """A mesh placed in its own grid order has only unit wires."""
+        placement = GridPlacement(MeshTopology(64))
+        # mesh ids happen to be laid out row-major already
+        stats = placement.wire_stats()
+        assert stats["max"] <= 16  # bounded by grid dimensions
+
+    def test_cluster_split(self, placement):
+        split = placement.cluster_link_split()
+        assert split["intra"] > 0
+        assert split["intra"] + split["inter"] == len(placement._links())
+
+    def test_cluster_of(self, placement):
+        ring = placement.topology.coords.ring(0)
+        assert placement.cluster_of(ring[0]) == 0
+        assert placement.cluster_of(ring[-1]) == (64 - 1) // 16

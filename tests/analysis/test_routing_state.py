@@ -1,0 +1,49 @@
+"""Routing-state scaling accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.routing_state import routing_state_bits, state_scaling_table
+from repro.core.routing_table import table_bits
+
+
+class TestSchemes:
+    def test_sf_matches_table_bits(self):
+        assert routing_state_bits("sf", 256, 8) == table_bits(256, 8)
+
+    def test_minimal_linear(self):
+        small = routing_state_bits("minimal", 128, 8)
+        large = routing_state_bits("minimal", 1024, 8)
+        assert large > 7 * small  # ~8x nodes, slightly wider ids
+
+    def test_ksp_k_times_minimal(self):
+        minimal = routing_state_bits("minimal", 256, 8)
+        ksp = routing_state_bits("ksp", 256, 8, k=4)
+        assert ksp == pytest.approx(4 * minimal)
+
+    def test_sf_flat_in_n(self):
+        a = routing_state_bits("sf", 128, 8)
+        b = routing_state_bits("sf", 1296, 8)
+        assert b < 1.5 * a
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            routing_state_bits("ecmp", 64, 8)
+
+    def test_tiny_network_rejected(self):
+        with pytest.raises(ValueError):
+            routing_state_bits("sf", 1, 8)
+
+
+class TestTable:
+    def test_shapes(self):
+        table = state_scaling_table([64, 256])
+        assert set(table) == {"sf", "minimal", "ksp"}
+        for row in table.values():
+            assert set(row) == {64, 256}
+            assert all(v > 0 for v in row.values())
+
+    def test_ordering_at_scale(self):
+        table = state_scaling_table([1024])
+        assert table["sf"][1024] < table["minimal"][1024] < table["ksp"][1024]

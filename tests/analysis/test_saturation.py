@@ -1,0 +1,46 @@
+"""Saturation-point search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.saturation import find_saturation
+from repro.topologies.registry import make_policy, make_topology
+from repro.traffic.patterns import make_pattern
+
+
+@pytest.fixture(scope="module")
+def sf16():
+    topo = make_topology("SF", 16, seed=3)
+    return topo, make_policy(topo)
+
+
+class TestSearch:
+    def test_uniform_random_saturation_in_range(self, sf16):
+        topo, policy = sf16
+        pattern = make_pattern("uniform_random", topo.active_nodes)
+        rate = find_saturation(
+            topo, policy, pattern, warmup=80, measure=200,
+            drain_limit=4000, resolution=0.2,
+        )
+        assert 0.2 <= rate <= 1.0
+
+    def test_hotspot_saturates_earlier(self, sf16):
+        topo, policy = sf16
+        uniform = find_saturation(
+            topo, policy, make_pattern("uniform_random", topo.active_nodes),
+            warmup=80, measure=200, drain_limit=4000, resolution=0.2,
+        )
+        hotspot = find_saturation(
+            topo, policy, make_pattern("hotspot", topo.active_nodes),
+            warmup=80, measure=200, drain_limit=4000, resolution=0.2,
+        )
+        assert hotspot <= uniform
+
+    def test_deterministic(self, sf16):
+        topo, policy = sf16
+        pattern = make_pattern("tornado", topo.active_nodes)
+        kwargs = dict(warmup=80, measure=200, drain_limit=4000, resolution=0.2)
+        assert find_saturation(topo, policy, pattern, **kwargs) == (
+            find_saturation(topo, policy, pattern, **kwargs)
+        )

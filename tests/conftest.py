@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.routing import AdaptiveGreediestRouting, GreediestRouting
+from repro.core.topology import S2Topology, StringFigureTopology
+
+
+@pytest.fixture
+def small_topology() -> StringFigureTopology:
+    """The paper's running example scale: 9 nodes, 4-port routers."""
+    return StringFigureTopology(9, 4, seed=42)
+
+
+@pytest.fixture
+def medium_topology() -> StringFigureTopology:
+    return StringFigureTopology(61, 4, seed=7)
+
+
+@pytest.fixture
+def large_topology() -> StringFigureTopology:
+    return StringFigureTopology(256, 8, seed=3)
+
+
+@pytest.fixture
+def small_routing(small_topology) -> GreediestRouting:
+    return GreediestRouting(small_topology)
+
+
+@pytest.fixture
+def medium_routing(medium_topology) -> GreediestRouting:
+    return GreediestRouting(medium_topology)
+
+
+@pytest.fixture
+def adaptive_routing(medium_topology) -> AdaptiveGreediestRouting:
+    return AdaptiveGreediestRouting(medium_topology)
+
+
+@pytest.fixture
+def s2_topology() -> S2Topology:
+    return S2Topology(32, 4, seed=5)

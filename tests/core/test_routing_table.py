@@ -1,0 +1,128 @@
+"""Routing-table contents, capacity bound, and hardware accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.routing_table import RoutingTable, TableEntry, entry_bits, table_bits
+from repro.core.topology import StringFigureTopology
+
+
+@pytest.fixture
+def topo():
+    return StringFigureTopology(30, 4, seed=11)
+
+
+@pytest.fixture
+def table(topo):
+    return RoutingTable.build(topo, owner=0)
+
+
+class TestBuild:
+    def test_one_hop_matches_neighbors(self, topo, table):
+        assert sorted(e.node for e in table.one_hop()) == topo.neighbors(0)
+
+    def test_two_hop_are_neighbors_of_neighbors(self, topo, table):
+        one_hop = set(topo.neighbors(0))
+        for entry in table.two_hop():
+            assert entry.node not in one_hop
+            assert entry.node != 0
+            assert any(entry.node in topo.neighbors(w) for w in entry.vias)
+
+    def test_vias_are_one_hop(self, topo, table):
+        one_hop = set(topo.neighbors(0))
+        for entry in table.two_hop():
+            assert entry.vias <= one_hop
+
+    def test_one_hop_via_is_self(self, table):
+        for entry in table.one_hop():
+            assert entry.vias == {entry.node}
+
+    def test_coords_match_topology(self, topo, table):
+        for entry in table.entries():
+            assert entry.coords == topo.coords.vector(entry.node)
+
+    def test_capacity_bound_all_nodes(self, topo):
+        """The p(p+1) bound holds at every router (paper §IV-B)."""
+        for v in range(topo.num_nodes):
+            t = RoutingTable.build(topo, v)
+            t.check_capacity()
+
+    def test_lookup_missing_returns_none(self, table):
+        assert table.lookup(9999) is None
+
+    def test_contains(self, topo, table):
+        assert topo.neighbors(0)[0] in table
+        assert 9999 not in table
+
+
+class TestReconfigPrimitives:
+    def test_block_unblock(self, table):
+        node = table.one_hop()[0].node
+        table.block(node)
+        assert not table.lookup(node).usable
+        assert node not in [e.node for e in table.one_hop()]
+        table.unblock(node)
+        assert table.lookup(node).usable
+
+    def test_block_all(self, table):
+        table.block_all()
+        assert table.one_hop() == []
+        assert table.two_hop() == []
+        table.unblock_all()
+        assert len(table.one_hop()) > 0
+
+    def test_invalidate_validate(self, table):
+        node = table.one_hop()[0].node
+        table.invalidate(node)
+        assert not table.lookup(node).usable
+        table.validate(node)
+        assert table.lookup(node).usable
+
+    def test_hop_flip(self, table):
+        entry = table.two_hop()[0]
+        table.set_hop(entry.node, 1, vias={entry.node})
+        assert table.lookup(entry.node).hop == 1
+
+    def test_set_hop_missing_raises(self, table):
+        with pytest.raises(KeyError):
+            table.set_hop(9999, 1)
+
+    def test_drop_via_invalidates_when_empty(self, table):
+        entry = table.two_hop()[0]
+        for via in list(entry.vias):
+            table.drop_via(entry.node, via)
+        assert not table.lookup(entry.node).valid
+
+    def test_block_missing_is_noop(self, table):
+        table.block(9999)  # must not raise
+
+
+class TestHardwareAccounting:
+    def test_entry_bits_formula(self):
+        # 1296 nodes, 8 ports: 11 id + 3 flag + 2 space + 7 coord = 23.
+        assert entry_bits(1296, 8) == 11 + 1 + 1 + 1 + 2 + 7
+
+    def test_entry_bits_small(self):
+        # 9 nodes, 4 ports: 4 id + 3 flags + 1 space + 7 coord = 15.
+        assert entry_bits(9, 4) == 4 + 3 + 1 + 7
+
+    def test_table_bits_sublinear_in_n(self):
+        """Routing state grows only logarithmically with network size."""
+        small = table_bits(128, 8)
+        large = table_bits(1296, 8)
+        assert large < small * 1.5
+
+    def test_table_fits_on_chip(self):
+        """Paper's working point: the full table is a few KB of SRAM."""
+        bits = table_bits(1296, 8)
+        assert bits / 8 / 1024 < 8  # under 8 KB
+
+    def test_usable_property(self):
+        entry = TableEntry(node=1, hop=1, coords=(0.5,))
+        assert entry.usable
+        entry.blocked = True
+        assert not entry.usable
+        entry.blocked = False
+        entry.valid = False
+        assert not entry.usable

@@ -1,0 +1,82 @@
+"""Shortcut generation rules (paper Figure 3c)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coordinates import CoordinateSystem
+from repro.core.shortcuts import SHORTCUT_OFFSETS, generate_shortcuts
+
+
+def test_offsets_are_two_and_four():
+    assert SHORTCUT_OFFSETS == (2, 4)
+
+
+def test_targets_at_ring_offsets():
+    cs = CoordinateSystem(20, 2, seed=1)
+    shortcuts = set(generate_shortcuts(cs))
+    for u, v in shortcuts:
+        offset_2 = cs.ring_neighbor(u, 0, 2)
+        offset_4 = cs.ring_neighbor(u, 0, 4)
+        assert v in (offset_2, offset_4)
+
+
+def test_higher_id_rule():
+    """Paper: "We only connect to a node with node number larger"."""
+    cs = CoordinateSystem(30, 2, seed=2)
+    for u, v in generate_shortcuts(cs):
+        assert v > u
+
+
+def test_higher_id_rule_disabled():
+    cs = CoordinateSystem(30, 2, seed=2)
+    unrestricted = generate_shortcuts(cs, higher_id_only=False)
+    restricted = generate_shortcuts(cs)
+    assert len(unrestricted) > len(restricted)
+    assert set(restricted) <= {(u, v) for u, v in unrestricted}
+
+
+def test_at_most_two_per_origin():
+    cs = CoordinateSystem(50, 2, seed=3)
+    origins: dict[int, int] = {}
+    for u, _v in generate_shortcuts(cs):
+        origins[u] = origins.get(u, 0) + 1
+    assert max(origins.values()) <= 2
+
+
+def test_no_self_loops_on_tiny_rings():
+    cs = CoordinateSystem(2, 1, seed=0)
+    assert all(u != v for u, v in generate_shortcuts(cs))
+    cs4 = CoordinateSystem(4, 1, seed=0)
+    assert all(u != v for u, v in generate_shortcuts(cs4))
+
+
+def test_deduplicated():
+    cs = CoordinateSystem(6, 2, seed=1)
+    shortcuts = generate_shortcuts(cs)
+    assert len(shortcuts) == len(set(shortcuts))
+
+
+def test_deterministic():
+    a = generate_shortcuts(CoordinateSystem(25, 2, seed=9))
+    b = generate_shortcuts(CoordinateSystem(25, 2, seed=9))
+    assert a == b
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=100),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_shortcut_properties_hold_for_any_size(n, seed):
+    cs = CoordinateSystem(n, 2, seed=seed)
+    shortcuts = generate_shortcuts(cs)
+    origins: dict[int, int] = {}
+    for u, v in shortcuts:
+        assert 0 <= u < n and 0 <= v < n
+        assert u != v
+        assert v > u
+        origins[u] = origins.get(u, 0) + 1
+    if origins:
+        assert max(origins.values()) <= len(SHORTCUT_OFFSETS)

@@ -1,0 +1,223 @@
+"""Construction invariants of the String Figure topology."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.topology import (
+    LinkDirection,
+    LinkKind,
+    S2Topology,
+    StringFigureTopology,
+)
+
+
+class TestConstruction:
+    def test_rejects_tiny_networks(self):
+        with pytest.raises(ValueError):
+            StringFigureTopology(1, 4)
+
+    def test_rejects_too_few_ports(self):
+        with pytest.raises(ValueError):
+            StringFigureTopology(8, 1)
+
+    def test_num_spaces_is_half_ports(self):
+        assert StringFigureTopology(16, 4, seed=0).num_spaces == 2
+        assert StringFigureTopology(16, 8, seed=0).num_spaces == 4
+        assert StringFigureTopology(16, 5, seed=0).num_spaces == 2
+
+    def test_arbitrary_node_counts_supported(self):
+        """A design goal: no power-of-two / perfect-square restriction."""
+        for n in (9, 17, 61, 113, 130):
+            topo = StringFigureTopology(n, 4, seed=1)
+            topo.check_invariants()
+            assert nx.is_connected(topo.graph())
+
+    def test_deterministic_construction(self):
+        a = StringFigureTopology(40, 4, seed=123)
+        b = StringFigureTopology(40, 4, seed=123)
+        assert set(a.physical_links()) == set(b.physical_links())
+
+    def test_different_seeds_differ(self):
+        a = StringFigureTopology(40, 4, seed=1)
+        b = StringFigureTopology(40, 4, seed=2)
+        assert set(a.physical_links()) != set(b.physical_links())
+
+    def test_port_budget_respected(self, medium_topology):
+        p = medium_topology.num_ports
+        for v in range(medium_topology.num_nodes):
+            assert medium_topology.base_degree(v) <= p
+
+    def test_invariants_pass(self, small_topology, medium_topology):
+        small_topology.check_invariants()
+        medium_topology.check_invariants()
+
+    def test_ring_links_present_per_space(self, medium_topology):
+        """Every space's ring adjacency must exist as physical links."""
+        coords = medium_topology.coords
+        for space in range(medium_topology.num_spaces):
+            ring = coords.ring(space)
+            for i, node in enumerate(ring):
+                succ = ring[(i + 1) % len(ring)]
+                assert medium_topology.link_kind(node, succ) is not None
+
+    def test_ring_spaces_recorded(self, medium_topology):
+        coords = medium_topology.coords
+        ring = coords.ring(0)
+        node, succ = ring[0], ring[1]
+        assert 0 in medium_topology.ring_spaces(node, succ)
+
+    def test_pairing_fills_free_ports(self):
+        """After pairing, at most one node may retain free ports."""
+        topo = StringFigureTopology(50, 4, seed=9)
+        free = [
+            topo.num_ports - topo.base_degree(v) for v in range(topo.num_nodes)
+        ]
+        nodes_with_free = [v for v, f in enumerate(free) if f > 0]
+        # Pairing stops only when no connectable pair remains: any two
+        # remaining free-port nodes must already be adjacent.
+        for i, u in enumerate(nodes_with_free):
+            for v in nodes_with_free[i + 1 :]:
+                assert topo.link_kind(u, v) is not None
+
+    def test_graph_connected_across_scales(self):
+        for n, p in ((16, 4), (61, 4), (113, 4), (200, 8)):
+            topo = StringFigureTopology(n, p, seed=0)
+            assert nx.is_connected(topo.graph()), (n, p)
+
+    def test_neighbors_sorted_and_symmetric(self, medium_topology):
+        for v in range(medium_topology.num_nodes):
+            neighbors = medium_topology.neighbors(v)
+            assert neighbors == sorted(neighbors)
+            for w in neighbors:
+                assert v in medium_topology.neighbors(w)
+
+    def test_radix_constant(self, medium_topology):
+        assert medium_topology.radix == medium_topology.num_ports
+
+    def test_link_channels_unity(self, medium_topology):
+        assert medium_topology.link_channels(0, 1) == 1
+
+
+class TestShortcutsWiring:
+    def test_shortcuts_dormant_by_default(self, medium_topology):
+        assert medium_topology.active_shortcuts == set()
+        for u, v in medium_topology.shortcut_wires:
+            assert (u, v) not in medium_topology.active_links()
+
+    def test_s2_has_no_shortcuts(self, s2_topology):
+        assert s2_topology.shortcut_wires == []
+        assert s2_topology.overlapping_shortcuts == []
+
+    def test_activate_unknown_shortcut_raises(self, medium_topology):
+        # A ring link is not a shortcut wire.
+        ring = medium_topology.coords.ring(0)
+        with pytest.raises(ValueError):
+            medium_topology.activate_shortcut(ring[0], ring[1])
+
+    def test_activate_deactivate_roundtrip(self, medium_topology):
+        u, v = medium_topology.shortcut_wires[0]
+        medium_topology.activate_shortcut(u, v)
+        assert v in medium_topology.neighbors(u)
+        medium_topology.deactivate_shortcut(u, v)
+        assert v not in medium_topology.neighbors(u)
+
+    def test_active_degree_counts_shortcuts(self, medium_topology):
+        u, v = medium_topology.shortcut_wires[0]
+        before = medium_topology.active_degree(u)
+        medium_topology.activate_shortcut(u, v)
+        assert medium_topology.active_degree(u) == before + 1
+        medium_topology.deactivate_shortcut(u, v)
+
+
+class TestActivationOverlay:
+    def test_all_active_initially(self, medium_topology):
+        assert medium_topology.active_nodes == list(range(61))
+
+    def test_deactivation_hides_node(self, medium_topology):
+        victim = 5
+        neighbors = medium_topology.neighbors(victim)
+        medium_topology.set_node_active(victim, False)
+        assert victim not in medium_topology.active_nodes
+        assert medium_topology.neighbors(victim) == []
+        for w in neighbors:
+            assert victim not in medium_topology.neighbors(w)
+        medium_topology.set_node_active(victim, True)
+
+    def test_graph_excludes_inactive(self, medium_topology):
+        medium_topology.set_node_active(3, False)
+        g = medium_topology.graph()
+        assert 3 not in g.nodes()
+        medium_topology.set_node_active(3, True)
+
+    def test_physical_graph_includes_everything(self, medium_topology):
+        medium_topology.set_node_active(3, False)
+        g = medium_topology.physical_graph()
+        assert 3 in g.nodes()
+        assert g.number_of_edges() == len(medium_topology.physical_links())
+        medium_topology.set_node_active(3, True)
+
+
+class TestUnidirectional:
+    def test_uni_graph_is_directed(self):
+        topo = StringFigureTopology(30, 4, seed=2, direction="uni")
+        assert topo.graph().is_directed()
+
+    def test_uni_port_budget_split(self):
+        topo = StringFigureTopology(30, 4, seed=2, direction="uni")
+        topo.check_invariants()
+        half = topo.num_ports // 2
+        for v in range(30):
+            out = len(topo.neighbors(v))
+            inn = len(topo.in_neighbors(v))
+            assert out <= half
+            assert inn <= half
+
+    def test_uni_strongly_connected(self):
+        topo = StringFigureTopology(30, 4, seed=2, direction="uni")
+        assert nx.is_strongly_connected(topo.graph())
+
+    def test_uni_rings_clockwise(self):
+        topo = StringFigureTopology(30, 4, seed=2, direction="uni")
+        for space in range(topo.num_spaces):
+            ring = topo.coords.ring(space)
+            for i, node in enumerate(ring):
+                succ = ring[(i + 1) % len(ring)]
+                assert succ in topo.neighbors(node)
+
+
+class TestS2Variant:
+    def test_s2_not_reconfigurable(self):
+        assert S2Topology.reconfigurable is False
+        assert StringFigureTopology.reconfigurable is True
+
+    def test_s2_base_topology_matches_sf(self):
+        """S2 = SF minus shortcut wires (same rings + pairings)."""
+        sf = StringFigureTopology(40, 4, seed=77)
+        s2 = S2Topology(40, 4, seed=77)
+        sf_base = {
+            k
+            for k in sf.physical_links((LinkKind.RING, LinkKind.PAIRING))
+        }
+        assert sf_base == set(s2.physical_links())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=80),
+    p=st.sampled_from([4, 6, 8]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_random_construction_invariants(n, p, seed):
+    """Property: any (N, p, seed) yields a valid, connected topology."""
+    topo = StringFigureTopology(n, p, seed=seed)
+    topo.check_invariants()
+    assert nx.is_connected(topo.graph())
+    # Shortcut origination bound (paper: at most two per node).
+    origins: dict[int, int] = {}
+    for u, _v in topo.shortcut_wires + topo.overlapping_shortcuts:
+        origins[u] = origins.get(u, 0) + 1
+    assert all(count <= 2 for count in origins.values())

@@ -1,0 +1,78 @@
+"""MUX-based topology switch model (paper Figure 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.topology import LinkKind, StringFigureTopology
+from repro.core.topology_switch import TopologySwitch
+
+
+@pytest.fixture
+def topo():
+    return StringFigureTopology(40, 4, seed=13)
+
+
+def _node_with_shortcut(topo):
+    u, v = topo.shortcut_wires[0]
+    return u, v
+
+
+class TestAttachedWires:
+    def test_includes_all_incident_links(self, topo):
+        switch = TopologySwitch(topo, 0)
+        for u, v in switch.attached_wires():
+            assert 0 in (u, v)
+            assert topo.link_kind(u, v) is not None
+
+    def test_shortcut_wires_classified(self, topo):
+        u, _v = _node_with_shortcut(topo)
+        switch = TopologySwitch(topo, u)
+        for a, b in switch.shortcut_wires():
+            assert topo.link_kind(a, b) is LinkKind.SHORTCUT
+
+
+class TestPortAccounting:
+    def test_base_topology_uses_ports(self, topo):
+        for node in range(topo.num_nodes):
+            switch = TopologySwitch(topo, node)
+            assert switch.ports_in_use() == topo.active_degree(node)
+            assert switch.free_ports() >= 0
+
+    def test_cannot_activate_without_free_ports(self, topo):
+        u, v = _node_with_shortcut(topo)
+        switch = TopologySwitch(topo, u)
+        if switch.free_ports() == 0:
+            assert not switch.can_activate(u, v)
+
+    def test_can_activate_after_gating_neighbors(self, topo):
+        """Gating a node frees ports at its neighbors."""
+        u, v = _node_with_shortcut(topo)
+        switch = TopologySwitch(topo, u)
+        # Free a port at both endpoints by deactivating one neighbor each.
+        for endpoint in (u, v):
+            for w in topo.neighbors(endpoint):
+                if w not in (u, v):
+                    topo.set_node_active(w, False)
+                    break
+        assert switch.free_ports() >= 1
+        assert switch.can_activate(u, v)
+
+    def test_unknown_wire_rejected(self, topo):
+        switch = TopologySwitch(topo, 0)
+        assert not switch.can_activate(0, 0)
+
+    def test_inactive_endpoint_rejected(self, topo):
+        u, v = _node_with_shortcut(topo)
+        topo.set_node_active(v, False)
+        switch = TopologySwitch(topo, u)
+        assert not switch.can_activate(u, v)
+        topo.set_node_active(v, True)
+
+
+class TestMuxCost:
+    def test_mux_count_bounded(self, topo):
+        """At most two shortcut wires -> bounded mux hardware."""
+        for node in range(topo.num_nodes):
+            switch = TopologySwitch(topo, node)
+            assert switch.mux_count() <= 2 * 4  # 2 sides x (2 out + 2 in)

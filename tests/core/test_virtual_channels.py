@@ -1,0 +1,37 @@
+"""Two-VC deadlock-avoidance assignment (paper §IV-A)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.virtual_channels import NUM_VIRTUAL_CHANNELS, select_virtual_channel
+
+unit = st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False)
+
+
+def test_exactly_two_channels():
+    assert NUM_VIRTUAL_CHANNELS == 2
+
+
+def test_low_to_high_uses_vc0():
+    assert select_virtual_channel(0.1, 0.9) == 0
+
+
+def test_high_to_low_uses_vc1():
+    assert select_virtual_channel(0.9, 0.1) == 1
+
+
+def test_equal_coordinates_default_vc0():
+    assert select_virtual_channel(0.5, 0.5) == 0
+
+
+@given(unit, unit)
+def test_vc_always_valid(src, dst):
+    assert select_virtual_channel(src, dst) in (0, 1)
+
+
+@given(unit, unit)
+def test_opposite_directions_use_distinct_vcs(src, dst):
+    if src != dst:
+        assert select_virtual_channel(src, dst) != select_virtual_channel(dst, src)

@@ -1,0 +1,40 @@
+"""Background node energy and EDP composition (Figure 9b machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.model import EnergyModel
+from repro.network.config import NetworkConfig
+from repro.network.stats import SimStats
+
+
+class TestBackgroundEnergy:
+    def test_scales_with_nodes_and_time(self):
+        model = EnergyModel()
+        base = model.background_pj(10, 100)
+        assert model.background_pj(20, 100) == 2 * base
+        assert model.background_pj(10, 200) == 2 * base
+
+    def test_rate_from_config(self):
+        cfg = NetworkConfig()
+        model = EnergyModel(cfg)
+        assert model.background_pj(1, 1) == cfg.node_background_pj_per_cycle
+
+    def test_total_with_background(self):
+        model = EnergyModel()
+        stats = SimStats()
+        stats.bit_hops = 100
+        stats.dram_bits = 0
+        total = model.total_with_background_pj(stats, active_nodes=4, cycles=10)
+        assert total == pytest.approx(100 * 5.0 + 4 * 10 * 2000.0)
+
+    def test_gating_saves_background(self):
+        """The Figure 9b mechanism in miniature: fewer active nodes at
+        equal runtime means strictly less total energy."""
+        model = EnergyModel()
+        stats = SimStats()
+        stats.bit_hops = 1000
+        full = model.total_with_background_pj(stats, 96, 5000)
+        gated = model.total_with_background_pj(stats, 72, 5000)
+        assert gated < full

@@ -1,0 +1,68 @@
+"""Dynamic energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.model import (
+    EnergyBreakdown,
+    EnergyModel,
+    radix_energy_factor,
+)
+from repro.network.stats import SimStats
+
+
+class TestBreakdown:
+    def test_totals(self):
+        e = EnergyBreakdown(network_pj=1000.0, dram_pj=500.0)
+        assert e.total_pj == 1500.0
+        assert e.total_nj == 1.5
+
+    def test_edp(self):
+        e = EnergyBreakdown(network_pj=100.0, dram_pj=0.0)
+        assert e.edp(delay_cycles=10, cycle_ns=3.2) == pytest.approx(3200.0)
+
+
+class TestModel:
+    def test_from_stats(self):
+        stats = SimStats()
+        stats.bit_hops = 1000
+        stats.dram_bits = 100
+        e = EnergyModel().from_stats(stats)
+        assert e.network_pj == 5000.0
+        assert e.dram_pj == 1200.0
+
+    def test_packet_energy(self):
+        model = EnergyModel()
+        # 64B + 16B header = 640 bits; 3 hops at 5 pJ/bit/hop.
+        assert model.network_energy_pj(64, 3) == 640 * 3 * 5
+
+    def test_dram_energy(self):
+        assert EnergyModel().dram_energy_pj(64) == 64 * 8 * 12
+
+    def test_edp_from_stats(self):
+        stats = SimStats()
+        stats.bit_hops = 10
+        edp = EnergyModel().edp(stats, delay_cycles=100)
+        assert edp == pytest.approx(10 * 5 * 100 * 3.2)
+
+
+class TestRadixAwareness:
+    def test_reference_radix_is_unity(self):
+        assert radix_energy_factor(8) == 1.0
+
+    def test_high_radix_costs_more(self):
+        assert radix_energy_factor(24) > radix_energy_factor(8) > radix_energy_factor(4)
+
+    def test_invalid_radix(self):
+        with pytest.raises(ValueError):
+            radix_energy_factor(0)
+
+    def test_radix_scaled_stats(self):
+        stats = SimStats()
+        stats.bit_hops = 100
+        model = EnergyModel()
+        flat = model.from_stats(stats)
+        high = model.from_stats(stats, radix=24)
+        assert high.network_pj > flat.network_pj
+        assert high.dram_pj == flat.dram_pj

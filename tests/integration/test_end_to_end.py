@@ -1,0 +1,110 @@
+"""Cross-module integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.placement import GridPlacement
+from repro.core.reconfig import ReconfigurationManager
+from repro.core.routing import AdaptiveGreediestRouting
+from repro.core.topology import StringFigureTopology
+from repro.energy.model import EnergyModel
+from repro.energy.power_gating import PowerManager
+from repro.network.policies import GreedyPolicy
+from repro.topologies.registry import TOPOLOGY_NAMES, make_policy, make_topology
+from repro.traffic.injection import run_synthetic
+from repro.traffic.patterns import PATTERNS, make_pattern
+from repro.workloads.runner import run_workload
+from repro.workloads.trace import collect_trace
+
+
+class TestAllTopologiesUnderTraffic:
+    @pytest.mark.parametrize("name", TOPOLOGY_NAMES)
+    def test_uniform_random_delivers(self, name):
+        topo = make_topology(name, 36, seed=2)
+        policy = make_policy(topo)
+        pattern = make_pattern("uniform_random", topo.active_nodes)
+        stats = run_synthetic(topo, policy, pattern, 0.1, warmup=80, measure=250)
+        assert stats.accepted_rate > 0.99
+        assert stats.avg_latency > 0
+
+    @pytest.mark.parametrize("pattern_name", sorted(PATTERNS))
+    def test_sf_under_all_patterns(self, pattern_name):
+        topo = make_topology("SF", 32, seed=2)
+        policy = make_policy(topo)
+        pattern = make_pattern(pattern_name, topo.active_nodes)
+        stats = run_synthetic(topo, policy, pattern, 0.1, warmup=80, measure=250)
+        assert stats.accepted_rate > 0.9
+
+
+class TestPlacementAwareSimulation:
+    def test_wire_latency_increases_packet_latency(self):
+        topo = StringFigureTopology(64, 4, seed=4)
+        policy = GreedyPolicy(AdaptiveGreediestRouting(topo))
+        pattern = make_pattern("uniform_random", topo.active_nodes)
+        flat = run_synthetic(topo, policy, pattern, 0.1, warmup=80, measure=300)
+        placed = run_synthetic(
+            topo,
+            policy,
+            pattern,
+            0.1,
+            warmup=80,
+            measure=300,
+            link_latency=GridPlacement(topo).latency_fn(),
+        )
+        assert placed.avg_latency >= flat.avg_latency
+
+
+class TestReconfigurationUnderTraffic:
+    def test_gated_network_still_carries_traffic(self):
+        topo = StringFigureTopology(48, 4, seed=6)
+        routing = AdaptiveGreediestRouting(topo)
+        manager = PowerManager(ReconfigurationManager(topo, routing))
+        manager.gate_fraction(0.15)
+        policy = GreedyPolicy(routing)
+        pattern = make_pattern("uniform_random", topo.active_nodes)
+        stats = run_synthetic(topo, policy, pattern, 0.1, warmup=80, measure=300)
+        assert stats.accepted_rate > 0.99
+
+    def test_downscaled_paths_stay_short_with_8_ports(self):
+        """At the paper's p=8 working configuration, shortcut patching
+        keeps the down-scaled network's paths essentially flat — the
+        mechanism behind Figure 9(b)'s EDP gains."""
+        topo = StringFigureTopology(48, 8, seed=6)
+        routing = AdaptiveGreediestRouting(topo)
+        policy = GreedyPolicy(routing)
+        pattern_full = make_pattern("uniform_random", topo.active_nodes)
+        full = run_synthetic(topo, policy, pattern_full, 0.08, warmup=80, measure=300)
+        manager = PowerManager(ReconfigurationManager(topo, routing))
+        plan = manager.gate_fraction(0.25)
+        assert plan.gated
+        pattern_small = make_pattern("uniform_random", topo.active_nodes)
+        small = run_synthetic(
+            topo, policy, pattern_small, 0.08, warmup=80, measure=300
+        )
+        assert small.accepted_rate > 0.99
+        assert small.avg_hops <= full.avg_hops * 1.15
+
+
+class TestWorkloadAcrossTopologies:
+    def test_energy_and_runtime_consistent(self):
+        trace = collect_trace("memcached", max_memory_accesses=800, scale=0.02)
+        model = EnergyModel()
+        for name in ("SF", "DM"):
+            topo = make_topology(name, 36, seed=3)
+            result = run_workload(topo, make_policy(topo), trace)
+            assert result.operations == trace.num_accesses
+            breakdown = model.from_stats(result.stats)
+            assert breakdown.total_pj == pytest.approx(
+                result.energy.total_pj
+            )
+
+    def test_dram_energy_topology_independent(self):
+        """Same trace -> same DRAM bits regardless of topology."""
+        trace = collect_trace("grep", max_memory_accesses=600, scale=0.02)
+        energies = []
+        for name in ("SF", "DM", "AFB"):
+            topo = make_topology(name, 36, seed=3)
+            result = run_workload(topo, make_policy(topo), trace)
+            energies.append(result.energy.dram_pj)
+        assert len(set(energies)) == 1

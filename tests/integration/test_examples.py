@@ -1,0 +1,40 @@
+"""The examples must stay runnable — they are part of the public API."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "greediest route" in result.stdout
+        assert "routing table" in result.stdout
+
+    def test_elastic_scaling(self):
+        result = _run("elastic_scaling.py")
+        assert result.returncode == 0, result.stderr
+        assert "75% powered" in result.stdout
+        assert "after upgrade" in result.stdout
+
+    def test_topology_explorer_small(self):
+        result = _run("topology_explorer.py", "16")
+        assert result.returncode == 0, result.stderr
+        assert "SF" in result.stdout

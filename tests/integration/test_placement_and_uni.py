@@ -1,0 +1,65 @@
+"""Placement-aware workloads and uni-directional end-to-end runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.placement import GridPlacement
+from repro.core.routing import AdaptiveGreediestRouting
+from repro.core.topology import StringFigureTopology
+from repro.network.policies import GreedyPolicy
+from repro.topologies.registry import make_policy, make_topology
+from repro.traffic.injection import run_synthetic
+from repro.traffic.patterns import make_pattern
+from repro.workloads.runner import run_workload
+from repro.workloads.trace import collect_trace
+
+
+class TestPlacementAwareWorkload:
+    def test_wire_latency_slows_workload(self):
+        trace = collect_trace("memcached", max_memory_accesses=600, scale=0.02)
+        topo = make_topology("SF", 36, seed=2)
+        policy = make_policy(topo)
+        flat = run_workload(topo, policy, trace)
+        placed = run_workload(
+            topo,
+            policy,
+            trace,
+            link_latency=GridPlacement(topo).latency_fn(),
+        )
+        assert placed.runtime_cycles >= flat.runtime_cycles
+        assert placed.operations == flat.operations
+
+
+class TestUnidirectionalEndToEnd:
+    @pytest.fixture(scope="class")
+    def uni_topo(self):
+        return StringFigureTopology(32, 4, seed=5, direction="uni")
+
+    def test_traffic_delivers(self, uni_topo):
+        policy = GreedyPolicy(AdaptiveGreediestRouting(uni_topo))
+        pattern = make_pattern("uniform_random", uni_topo.active_nodes)
+        stats = run_synthetic(
+            uni_topo, policy, pattern, 0.1, warmup=80, measure=250
+        )
+        assert stats.accepted_rate > 0.99
+
+    def test_longer_paths_than_bi(self, uni_topo):
+        bi = StringFigureTopology(32, 4, seed=5, direction="bi")
+        uni_policy = GreedyPolicy(AdaptiveGreediestRouting(uni_topo))
+        bi_policy = GreedyPolicy(AdaptiveGreediestRouting(bi))
+        pattern_uni = make_pattern("uniform_random", uni_topo.active_nodes)
+        pattern_bi = make_pattern("uniform_random", bi.active_nodes)
+        uni_stats = run_synthetic(
+            uni_topo, uni_policy, pattern_uni, 0.1, warmup=80, measure=250
+        )
+        bi_stats = run_synthetic(
+            bi, bi_policy, pattern_bi, 0.1, warmup=80, measure=250
+        )
+        assert uni_stats.avg_hops > bi_stats.avg_hops
+
+    def test_workload_runs_on_uni(self, uni_topo):
+        trace = collect_trace("grep", max_memory_accesses=400, scale=0.01)
+        policy = GreedyPolicy(AdaptiveGreediestRouting(uni_topo))
+        result = run_workload(uni_topo, policy, trace)
+        assert result.operations == trace.num_accesses

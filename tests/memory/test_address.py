@@ -1,0 +1,87 @@
+"""Address interleaving across memory nodes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.address import AddressMapper
+
+
+class TestMapping:
+    def test_round_robin_blocks(self):
+        mapper = AddressMapper([0, 1, 2], interleave_bytes=4096)
+        assert mapper.node_of(0) == 0
+        assert mapper.node_of(4096) == 1
+        assert mapper.node_of(8192) == 2
+        assert mapper.node_of(12288) == 0
+
+    def test_within_block_same_node(self):
+        mapper = AddressMapper([5, 9], interleave_bytes=4096)
+        assert mapper.node_of(100) == mapper.node_of(4000)
+
+    def test_negative_rejected(self):
+        mapper = AddressMapper([0, 1])
+        with pytest.raises(ValueError):
+            mapper.node_of(-1)
+
+    def test_bad_interleave(self):
+        with pytest.raises(ValueError):
+            AddressMapper([0], interleave_bytes=1000)
+        with pytest.raises(ValueError):
+            AddressMapper([0], interleave_bytes=0)
+
+    def test_no_nodes(self):
+        with pytest.raises(ValueError):
+            AddressMapper([])
+
+    def test_capacity(self):
+        mapper = AddressMapper([0, 1, 2, 3], node_capacity_bytes=8 << 30)
+        assert mapper.total_capacity_bytes == 32 << 30
+
+
+class TestLocalOffset:
+    def test_offset_roundtrip(self):
+        mapper = AddressMapper([0, 1], interleave_bytes=4096)
+        # First block on node 0 starts at local 0; third block (addr
+        # 8192) is node 0's second block -> local 4096.
+        assert mapper.local_offset(0) == 0
+        assert mapper.local_offset(8192) == 4096
+        assert mapper.local_offset(8192 + 100) == 4196
+
+    @given(
+        addr=st.integers(min_value=0, max_value=2**40),
+        n=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=50)
+    def test_offset_dense(self, addr, n):
+        """Local offsets tile each node's space without holes."""
+        mapper = AddressMapper(list(range(n)), interleave_bytes=4096)
+        offset = mapper.local_offset(addr)
+        assert 0 <= offset <= addr
+
+
+class TestRebalance:
+    def test_rebalance_new_nodes(self):
+        mapper = AddressMapper([0, 1, 2, 3])
+        smaller = mapper.rebalance([0, 2])
+        assert smaller.nodes == [0, 2]
+        assert smaller.interleave_bytes == mapper.interleave_bytes
+
+    def test_rebalanced_mapping_valid(self):
+        mapper = AddressMapper([0, 1, 2, 3]).rebalance([7, 9, 11])
+        for addr in range(0, 1 << 20, 4096):
+            assert mapper.node_of(addr) in (7, 9, 11)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    addr=st.integers(min_value=0, max_value=2**44),
+    nodes=st.lists(
+        st.integers(min_value=0, max_value=1295), min_size=1, max_size=32, unique=True
+    ),
+)
+def test_property_node_always_valid(addr, nodes):
+    mapper = AddressMapper(nodes)
+    assert mapper.node_of(addr) in nodes

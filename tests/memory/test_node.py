@@ -1,0 +1,70 @@
+"""Memory-node service model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.routing import GreediestRouting
+from repro.core.topology import StringFigureTopology
+from repro.memory.node import MemoryNode
+from repro.network.packet import Packet, PacketKind
+from repro.network.policies import GreedyPolicy
+from repro.network.simulator import NetworkSimulator
+
+
+@pytest.fixture
+def sim():
+    topo = StringFigureTopology(8, 4, seed=0)
+    return NetworkSimulator(topo, GreedyPolicy(GreediestRouting(topo)))
+
+
+class TestService:
+    def test_read_generates_response(self, sim):
+        node = MemoryNode(3, sim)
+        request = Packet(src=0, dst=3, kind=PacketKind.READ_REQ, context="tag")
+        node.service(request, now=10, local_addr=0)
+        sim.drain()
+        assert sim.stats.delivered == 1  # the response reached node 0
+
+    def test_write_is_silent(self, sim):
+        node = MemoryNode(3, sim)
+        request = Packet(src=0, dst=3, kind=PacketKind.WRITE_REQ)
+        node.service(request, now=10, local_addr=0)
+        sim.drain()
+        assert sim.stats.delivered == 0
+
+    def test_respond_false_suppresses(self, sim):
+        node = MemoryNode(3, sim)
+        request = Packet(src=0, dst=3, kind=PacketKind.READ_REQ)
+        node.service(request, now=10, local_addr=0, respond=False)
+        sim.drain()
+        assert sim.stats.delivered == 0
+
+    def test_controller_serializes(self, sim):
+        """Back-to-back requests queue at the controller."""
+        node = MemoryNode(3, sim)
+        t1 = node.service(
+            Packet(src=0, dst=3, kind=PacketKind.WRITE_REQ), 0, 0
+        )
+        t2 = node.service(
+            Packet(src=0, dst=3, kind=PacketKind.WRITE_REQ), 0, 64
+        )
+        assert t2 > t1
+
+    def test_dram_energy_tallied(self, sim):
+        node = MemoryNode(3, sim)
+        node.service(Packet(src=0, dst=3, kind=PacketKind.WRITE_REQ), 0, 0)
+        assert sim.stats.dram_bits == 8 * 64
+
+    def test_context_carried_to_response(self, sim):
+        node = MemoryNode(3, sim)
+        seen = []
+        sim.on_delivery(lambda pkt, t: seen.append(pkt))
+        node.service(
+            Packet(src=0, dst=3, kind=PacketKind.READ_REQ, context=("x", 1)),
+            0,
+            0,
+        )
+        sim.drain()
+        assert seen[0].context == ("x", 1)
+        assert seen[0].kind is PacketKind.READ_RESP

@@ -1,0 +1,92 @@
+"""Injection-process details: cooldown, payloads, measurement flags."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.routing import AdaptiveGreediestRouting
+from repro.core.topology import StringFigureTopology
+from repro.network.policies import GreedyPolicy
+from repro.network.simulator import NetworkSimulator
+from repro.traffic.injection import BernoulliInjector
+from repro.traffic.patterns import make_pattern
+
+
+@pytest.fixture
+def system():
+    topo = StringFigureTopology(16, 4, seed=1)
+    policy = GreedyPolicy(AdaptiveGreediestRouting(topo))
+    sim = NetworkSimulator(topo, policy)
+    pattern = make_pattern("uniform_random", topo.active_nodes)
+    return topo, sim, pattern
+
+
+class TestWindows:
+    def test_measured_only_inside_window(self, system):
+        topo, sim, pattern = system
+        measured_windows = []
+        injector = BernoulliInjector(
+            sim, pattern, 0.5, warmup=100, measure=200, cooldown=100
+        )
+        injector.start()
+
+        original_send = sim.send
+
+        def spy(packet, time=None):
+            measured_windows.append((packet.inject_time or time, packet.measured))
+            original_send(packet, time)
+
+        sim.send = spy
+        sim.drain()
+        assert measured_windows
+        for time, measured in measured_windows:
+            if measured:
+                assert 100 <= time < 300
+
+    def test_cooldown_extends_injection(self, system):
+        topo, sim, pattern = system
+        injector = BernoulliInjector(
+            sim, pattern, 0.5, warmup=50, measure=100, cooldown=300
+        )
+        injector.start()
+        sim.drain()
+        # Unmeasured cooldown traffic was injected past the window.
+        assert sim.stats.delivered > sim.stats.measured_delivered
+
+    def test_payload_bytes_respected(self, system):
+        topo, sim, pattern = system
+        seen_sizes = set()
+        sim.on_delivery(lambda pkt, t: seen_sizes.add(pkt.size_flits))
+        injector = BernoulliInjector(
+            sim, pattern, 0.5, warmup=0, measure=100, payload_bytes=400
+        )
+        injector.start()
+        sim.drain()
+        assert seen_sizes == {sim.config.packet_flits(400)}
+
+    def test_distinct_seeds_distinct_traffic(self, system):
+        topo, _sim, pattern = system
+
+        def run(seed):
+            policy = GreedyPolicy(AdaptiveGreediestRouting(topo))
+            sim = NetworkSimulator(topo, policy)
+            injector = BernoulliInjector(
+                sim, pattern, 0.3, warmup=0, measure=200, seed=seed
+            )
+            injector.start()
+            sim.drain()
+            return sim.stats.delivered
+
+        assert run(1) != run(2) or True  # counts may coincide...
+        # ...but the latency distributions almost surely differ:
+        def latency(seed):
+            policy = GreedyPolicy(AdaptiveGreediestRouting(topo))
+            sim = NetworkSimulator(topo, policy)
+            injector = BernoulliInjector(
+                sim, pattern, 0.3, warmup=0, measure=200, seed=seed
+            )
+            injector.start()
+            sim.drain()
+            return sim.stats.latency.total
+
+        assert latency(1) != latency(2)

@@ -1,0 +1,79 @@
+"""GreedyPolicy's exact decision cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reconfig import ReconfigurationManager
+from repro.core.routing import AdaptiveGreediestRouting, GreediestRouting
+from repro.core.topology import StringFigureTopology
+from repro.network.packet import Packet
+from repro.network.policies import GreedyPolicy
+
+quiet = lambda u, v: 0.0
+
+
+def _walk(policy, src, dst):
+    packet = Packet(src=src, dst=dst)
+    path = [src]
+    current, first = src, True
+    while current != dst:
+        current = policy.forward(current, packet, quiet, first)
+        first = False
+        path.append(current)
+        assert len(path) < 300
+    return path
+
+
+@pytest.fixture
+def topo():
+    return StringFigureTopology(40, 4, seed=9)
+
+
+class TestCacheCorrectness:
+    def test_cached_equals_uncached(self, topo):
+        cached = GreedyPolicy(GreediestRouting(topo), cache=True)
+        plain = GreedyPolicy(GreediestRouting(topo), cache=False)
+        for src in range(0, 40, 3):
+            for dst in range(40):
+                if src == dst:
+                    continue
+                assert _walk(cached, src, dst) == _walk(plain, src, dst)
+
+    def test_cache_populated(self, topo):
+        policy = GreedyPolicy(GreediestRouting(topo), cache=True)
+        _walk(policy, 0, 27)
+        assert policy._cache
+
+    def test_repeat_walk_uses_cache(self, topo):
+        policy = GreedyPolicy(GreediestRouting(topo), cache=True)
+        first = _walk(policy, 0, 27)
+        size = len(policy._cache)
+        second = _walk(policy, 0, 27)
+        assert second == first
+        assert len(policy._cache) == size  # no growth on the second walk
+
+
+class TestCacheInvalidation:
+    def test_reconfigure_clears_cache(self, topo):
+        routing = AdaptiveGreediestRouting(topo)
+        policy = GreedyPolicy(routing, cache=True)
+        _walk(policy, 0, 27)
+        assert policy._cache
+        policy.on_reconfigure()
+        assert not policy._cache
+
+    def test_routes_correct_after_reconfig(self, topo):
+        routing = AdaptiveGreediestRouting(topo)
+        policy = GreedyPolicy(routing, cache=True)
+        manager = ReconfigurationManager(topo, routing)
+        # warm the cache on the full network
+        for dst in range(1, 40, 5):
+            _walk(policy, 0, dst)
+        victim = manager.gate_candidates(1)[0]
+        manager.power_gate(victim)
+        policy.on_reconfigure()
+        active = [v for v in topo.active_nodes if v != 0]
+        for dst in active[::4]:
+            path = _walk(policy, 0, dst)
+            assert victim not in path

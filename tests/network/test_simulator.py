@@ -1,0 +1,225 @@
+"""Discrete-event simulator mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.routing import AdaptiveGreediestRouting
+from repro.core.topology import StringFigureTopology
+from repro.network.config import NetworkConfig
+from repro.network.packet import Packet, PacketKind
+from repro.network.policies import GreedyPolicy
+from repro.network.simulator import NetworkSimulator, zero_load_latency
+from repro.traffic.injection import BernoulliInjector, run_synthetic
+from repro.traffic.patterns import make_pattern
+
+
+@pytest.fixture
+def system():
+    topo = StringFigureTopology(32, 4, seed=3)
+    routing = AdaptiveGreediestRouting(topo)
+    policy = GreedyPolicy(routing)
+    sim = NetworkSimulator(topo, policy)
+    return topo, routing, policy, sim
+
+
+class TestSinglePacket:
+    def test_zero_load_latency_matches_analytic(self, system):
+        topo, routing, _policy, sim = system
+        src, dst = 0, 17
+        hops = routing.route(src, dst).hops
+        packet = Packet(src=src, dst=dst, size_flits=1)
+        sim.send(packet, 0)
+        sim.drain()
+        assert packet.arrive_time is not None
+        assert packet.latency == zero_load_latency(sim.config, hops)
+
+    def test_hop_count_recorded(self, system):
+        topo, routing, _policy, sim = system
+        packet = Packet(src=0, dst=17)
+        sim.send(packet, 0)
+        sim.drain()
+        assert packet.hops == routing.route(0, 17).hops
+
+    def test_self_delivery_immediate(self, system):
+        _topo, _routing, _policy, sim = system
+        packet = Packet(src=5, dst=5)
+        sim.send(packet, 10)
+        sim.drain()
+        assert packet.arrive_time == 10
+        assert packet.hops == 0
+
+    def test_serialization_adds_latency(self, system):
+        topo, routing, _policy, sim = system
+        big = Packet(src=0, dst=17, size_flits=4)
+        sim.send(big, 0)
+        sim.drain()
+        hops = routing.route(0, 17).hops
+        assert big.latency == zero_load_latency(sim.config, hops, size_flits=4)
+
+    def test_energy_accounted(self, system):
+        _topo, _routing, _policy, sim = system
+        packet = Packet(src=0, dst=17, payload_bytes=64)
+        sim.send(packet, 0)
+        sim.drain()
+        expected_bits = sim.config.packet_bits(64) * packet.hops
+        assert sim.stats.bit_hops == expected_bits
+
+
+class TestStatsCollection:
+    def test_measured_flag_respected(self, system):
+        _topo, _routing, _policy, sim = system
+        sim.send(Packet(src=0, dst=9, measured=False), 0)
+        sim.send(Packet(src=0, dst=9, measured=True), 5)
+        sim.drain()
+        assert sim.stats.delivered == 2
+        assert sim.stats.measured_delivered == 1
+        assert sim.stats.injected == 1  # only measured packets counted
+
+    def test_latency_accumulator(self, system):
+        _topo, _routing, _policy, sim = system
+        for i in range(5):
+            sim.send(Packet(src=i, dst=20 + i), i)
+        sim.drain()
+        assert sim.stats.latency.count == 5
+        assert sim.stats.avg_latency > 0
+
+    def test_on_delivery_hook(self, system):
+        _topo, _routing, _policy, sim = system
+        seen = []
+        sim.on_delivery(lambda pkt, t: seen.append((pkt.pid, t)))
+        packet = Packet(src=0, dst=12)
+        sim.send(packet, 0)
+        sim.drain()
+        assert seen and seen[0][0] == packet.pid
+
+
+class TestBackpressure:
+    def test_credits_limit_inflight(self):
+        """A two-node chain can hold only buffer+reserve packets."""
+        topo = StringFigureTopology(8, 4, seed=1)
+        policy = GreedyPolicy(AdaptiveGreediestRouting(topo))
+        cfg = NetworkConfig(buffer_packets=2)
+        sim = NetworkSimulator(topo, policy, cfg)
+        dst = topo.neighbors(0)[0]
+        for _ in range(50):
+            sim.send(Packet(src=0, dst=dst, size_flits=8), 0)
+        sim.drain()
+        assert sim.stats.delivered == 50
+        # With 8-flit serialization, delivery takes at least 50*8 cycles.
+        assert sim.now >= 400
+
+    def test_deadlock_recovery_fires_and_network_completes(self):
+        """Small buffers under load trigger recovery; traffic finishes."""
+        topo = StringFigureTopology(24, 4, seed=2)
+        policy = GreedyPolicy(AdaptiveGreediestRouting(topo))
+        cfg = NetworkConfig(buffer_packets=2, deadlock_timeout_cycles=16)
+        pattern = make_pattern("uniform_random", topo.active_nodes)
+        stats = run_synthetic(
+            topo, policy, pattern, 0.4, config=cfg, warmup=100, measure=400
+        )
+        assert stats.deadlock_recoveries > 0
+        assert stats.accepted_rate > 0.99
+
+    def test_credits_conserved_after_drain(self):
+        """Credit conservation: after a full drain every link is back
+        to its nominal credit count and all reserve loans are repaid,
+        even when recovery fired during the run."""
+        topo = StringFigureTopology(24, 4, seed=2)
+        policy = GreedyPolicy(AdaptiveGreediestRouting(topo))
+        cfg = NetworkConfig(buffer_packets=2, deadlock_timeout_cycles=16)
+        sim = NetworkSimulator(topo, policy, cfg)
+        pattern = make_pattern("uniform_random", topo.active_nodes)
+        injector = BernoulliInjector(sim, pattern, 0.5, warmup=50, measure=400)
+        injector.start()
+        sim.drain()
+        assert sim.stats.deadlock_recoveries > 0
+        for link, credits in sim._credits.items():
+            port = sim._ports[link]
+            assert port.occupancy() == 0
+            assert port.total_reserve_debt() == 0
+            assert all(c == cfg.buffer_packets for c in credits)
+
+    def test_multichannel_links_increase_throughput(self):
+        from repro.topologies.mesh import MeshTopology, OptimizedMeshTopology
+
+        pattern_name = "uniform_random"
+        results = {}
+        for topo in (MeshTopology(16), OptimizedMeshTopology(16, channels=4)):
+            policy = topo.make_policy()
+            pattern = make_pattern(pattern_name, topo.active_nodes)
+            stats = run_synthetic(
+                topo, policy, pattern, 0.7, warmup=100, measure=400, seed=5
+            )
+            results[type(topo).__name__] = stats.avg_latency
+        assert results["OptimizedMeshTopology"] < results["MeshTopology"]
+
+
+class TestInjector:
+    def test_rate_statistics(self, system):
+        topo, _routing, policy, _sim = system
+        pattern = make_pattern("uniform_random", topo.active_nodes)
+        stats = run_synthetic(topo, policy, pattern, 0.25, warmup=100, measure=1000)
+        expected = 0.25 * 32 * 1000
+        assert stats.injected == pytest.approx(expected, rel=0.15)
+
+    def test_invalid_rate(self, system):
+        topo, _routing, policy, sim = system
+        pattern = make_pattern("uniform_random", topo.active_nodes)
+        with pytest.raises(ValueError):
+            BernoulliInjector(sim, pattern, rate=0.0)
+        with pytest.raises(ValueError):
+            BernoulliInjector(sim, pattern, rate=1.5)
+
+    def test_injection_stops(self, system):
+        topo, _routing, policy, sim = system
+        pattern = make_pattern("uniform_random", topo.active_nodes)
+        injector = BernoulliInjector(sim, pattern, 0.5, warmup=50, measure=100)
+        injector.start()
+        sim.drain()
+        assert sim.now < 10_000  # injection ended, network drained
+
+    def test_sources_restriction(self, system):
+        topo, _routing, policy, sim = system
+        pattern = make_pattern("uniform_random", topo.active_nodes)
+        injector = BernoulliInjector(
+            sim, pattern, 0.5, warmup=0, measure=200, sources=[0, 1]
+        )
+        injector.start()
+        sim.drain()
+        assert sim.stats.delivered > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_stats(self):
+        topo = StringFigureTopology(24, 4, seed=4)
+        pattern = make_pattern("uniform_random", topo.active_nodes)
+
+        def run():
+            policy = GreedyPolicy(AdaptiveGreediestRouting(topo))
+            return run_synthetic(
+                topo, policy, pattern, 0.3, warmup=100, measure=300, seed=9
+            )
+
+        a, b = run(), run()
+        assert a.injected == b.injected
+        assert a.avg_latency == b.avg_latency
+
+
+class TestGuards:
+    def test_event_limit(self, system):
+        topo, _routing, policy, sim = system
+        sim.max_events = 10
+        pattern = make_pattern("uniform_random", topo.active_nodes)
+        injector = BernoulliInjector(sim, pattern, 0.9, warmup=0, measure=5000)
+        injector.start()
+        with pytest.raises(RuntimeError):
+            sim.drain()
+
+    def test_run_until_bounds_time(self, system):
+        topo, _routing, policy, sim = system
+        pattern = make_pattern("uniform_random", topo.active_nodes)
+        injector = BernoulliInjector(sim, pattern, 0.2, warmup=0, measure=500)
+        injector.start()
+        sim.run(until=100)
+        assert sim.now <= 100 or sim.pending_events == 0

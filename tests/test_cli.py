@@ -1,0 +1,71 @@
+"""CLI surface: `python -m repro ...`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_topology_defaults(self):
+        args = build_parser().parse_args(["topology", "SF"])
+        assert args.nodes == 64
+        assert args.seed == 0
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["topology", "SF", "--nodes", "32"],
+            ["simulate", "DM", "--rate", "0.1"],
+            ["workload", "SF", "--workload", "grep"],
+            ["reconfigure", "--fraction", "0.2"],
+        ):
+            assert parser.parse_args(argv) is not None
+
+
+class TestCommands:
+    def test_topology_sf(self, capsys):
+        assert main(["topology", "SF", "--nodes", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "router radix" in out
+        assert "virtual spaces" in out
+
+    def test_topology_baseline(self, capsys):
+        assert main(["topology", "DM", "--nodes", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "avg path" in out
+
+    def test_simulate(self, capsys):
+        code = main(
+            ["simulate", "SF", "--nodes", "24", "--rate", "0.1",
+             "--warmup", "50", "--measure", "150"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avg latency" in out
+        assert "accepted" in out
+
+    def test_workload(self, capsys):
+        code = main(
+            ["workload", "SF", "--workload", "grep", "--nodes", "16",
+             "--accesses", "300", "--scale", "0.01"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "runtime" in out
+
+    def test_reconfigure(self, capsys):
+        code = main(["reconfigure", "--nodes", "48", "--fraction", "0.15"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "down-scaled" in out
+        assert "restored" in out
+
+    def test_unknown_topology_errors(self):
+        with pytest.raises(ValueError):
+            main(["topology", "hypercube"])

@@ -1,0 +1,61 @@
+"""Jellyfish random-regular-graph baseline."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.topologies.jellyfish import JellyfishTopology
+
+
+class TestConstruction:
+    def test_regularity(self):
+        jf = JellyfishTopology(50, degree=4, seed=0)
+        degrees = set(dict(jf.graph().degree()).values())
+        assert degrees == {4}
+
+    def test_connected(self):
+        for seed in range(3):
+            jf = JellyfishTopology(60, degree=4, seed=seed)
+            assert nx.is_connected(jf.graph())
+
+    def test_deterministic(self):
+        a = JellyfishTopology(40, degree=4, seed=3)
+        b = JellyfishTopology(40, degree=4, seed=3)
+        assert set(a.graph().edges()) == set(b.graph().edges())
+
+    def test_odd_degree_sum_rejected(self):
+        with pytest.raises(ValueError):
+            JellyfishTopology(9, degree=3)
+
+    def test_degree_bounds(self):
+        with pytest.raises(ValueError):
+            JellyfishTopology(10, degree=1)
+        with pytest.raises(ValueError):
+            JellyfishTopology(10, degree=10)
+
+    def test_radix_constant_in_n(self):
+        assert JellyfishTopology(40, 4, 0).radix == 4
+        assert JellyfishTopology(200, 4, 0).radix == 4
+
+
+class TestRoutingState:
+    def test_ksp_state_superlinear(self):
+        """The Jellyfish drawback: per-router state grows with N."""
+        small = JellyfishTopology(30, degree=4, seed=1).k_shortest_path_state(
+            k=2, sample=8
+        )
+        large = JellyfishTopology(120, degree=4, seed=1).k_shortest_path_state(
+            k=2, sample=8
+        )
+        assert large > 3 * small
+
+    def test_routing_is_minimal(self):
+        jf = JellyfishTopology(40, degree=4, seed=2)
+        policy = jf.make_policy(adaptive=False)
+        g = jf.graph()
+        for src in range(0, 40, 5):
+            lengths = nx.single_source_shortest_path_length(g, src)
+            for dst in range(40):
+                if src != dst:
+                    assert policy.route_length(src, dst) == lengths[dst]

@@ -1,0 +1,76 @@
+"""Topology/policy factory (Figure 8 configurations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.topology import S2Topology, StringFigureTopology
+from repro.network.policies import GreedyPolicy, MinimalPolicy
+from repro.topologies.registry import (
+    TOPOLOGY_NAMES,
+    figure8_ports,
+    make_policy,
+    make_topology,
+)
+
+
+class TestPortSchedule:
+    def test_figure8_ports(self):
+        """4 network ports up to 128 nodes, 8 beyond (Figure 8)."""
+        assert figure8_ports(16) == 4
+        assert figure8_ports(128) == 4
+        assert figure8_ports(256) == 8
+        assert figure8_ports(1296) == 8
+
+
+class TestFactory:
+    def test_all_names_buildable(self):
+        for name in TOPOLOGY_NAMES:
+            topo = make_topology(name, 64, seed=0)
+            assert topo.num_nodes == 64
+
+    def test_sf_aliases(self):
+        for alias in ("SF", "sf", "string-figure"):
+            assert isinstance(make_topology(alias, 16, seed=0), StringFigureTopology)
+
+    def test_s2_type(self):
+        assert isinstance(make_topology("S2", 16, seed=0), S2Topology)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_topology("torus", 16)
+
+    def test_ports_override(self):
+        topo = make_topology("SF", 64, seed=0, ports=8)
+        assert topo.num_ports == 8
+
+    def test_default_ports_follow_figure8(self):
+        assert make_topology("SF", 64, seed=0).num_ports == 4
+        assert make_topology("SF", 256, seed=0).num_ports == 8
+
+    def test_kwargs_passthrough(self):
+        odm = make_topology("ODM", 64, channels=3)
+        assert odm.link_channels(0, 1) == 3
+
+
+class TestPolicies:
+    def test_sf_gets_greedy_policy(self):
+        topo = make_topology("SF", 32, seed=0)
+        assert isinstance(make_policy(topo), GreedyPolicy)
+
+    def test_baselines_get_minimal_policy(self):
+        for name in ("DM", "ODM", "FB", "AFB", "Jellyfish"):
+            topo = make_topology(name, 64, seed=0)
+            assert isinstance(make_policy(topo), MinimalPolicy)
+
+    def test_adaptive_flag(self):
+        topo = make_topology("DM", 64)
+        assert make_policy(topo, adaptive=False).adaptive is False
+        assert make_policy(topo, adaptive=True).adaptive is True
+
+    def test_sf_nonadaptive(self):
+        from repro.core.routing import AdaptiveGreediestRouting
+
+        topo = make_topology("SF", 32, seed=0)
+        policy = make_policy(topo, adaptive=False)
+        assert not isinstance(policy.routing, AdaptiveGreediestRouting)

@@ -1,0 +1,132 @@
+"""Table III traffic patterns."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.patterns import PATTERNS, HotspotTraffic, make_pattern
+
+
+NODES = list(range(16))
+
+
+class TestFactory:
+    def test_all_table3_patterns_present(self):
+        assert set(PATTERNS) == {
+            "uniform_random",
+            "tornado",
+            "hotspot",
+            "opposite",
+            "neighbor",
+            "complement",
+            "partition2",
+        }
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            make_pattern("butterfly", NODES)
+
+    def test_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            make_pattern("tornado", [0])
+
+
+class TestFormulas:
+    def test_tornado_halfway(self):
+        """dest = (src + nports/2) % nports."""
+        pattern = make_pattern("tornado", NODES)
+        rng = random.Random(0)
+        for i, src in enumerate(NODES):
+            assert pattern.destination(src, rng) == NODES[(i + 8) % 16]
+
+    def test_opposite_mirror(self):
+        """dest = nports - 1 - src."""
+        pattern = make_pattern("opposite", NODES)
+        rng = random.Random(0)
+        for i, src in enumerate(NODES):
+            assert pattern.destination(src, rng) == NODES[15 - i]
+
+    def test_neighbor_successor(self):
+        """dest = src + 1."""
+        pattern = make_pattern("neighbor", NODES)
+        rng = random.Random(0)
+        for i, src in enumerate(NODES):
+            assert pattern.destination(src, rng) == NODES[(i + 1) % 16]
+
+    def test_complement_bitwise(self):
+        """dest = src XOR (nports - 1)."""
+        pattern = make_pattern("complement", NODES)
+        rng = random.Random(0)
+        for i, src in enumerate(NODES):
+            assert pattern.destination(src, rng) == NODES[i ^ 15]
+
+    def test_hotspot_single_destination(self):
+        pattern = make_pattern("hotspot", NODES, hotspot=5)
+        rng = random.Random(0)
+        for src in NODES:
+            if src != 5:
+                assert pattern.destination(src, rng) == 5
+
+    def test_hotspot_default_first_node(self):
+        pattern = make_pattern("hotspot", NODES)
+        assert pattern.hotspot == 0
+
+    def test_hotspot_invalid_node(self):
+        with pytest.raises(ValueError):
+            HotspotTraffic(NODES, hotspot=99)
+
+    def test_partition2_stays_in_half(self):
+        pattern = make_pattern("partition2", NODES)
+        rng = random.Random(0)
+        for i, src in enumerate(NODES):
+            for _ in range(20):
+                dst = pattern.destination(src, rng)
+                j = NODES.index(dst)
+                assert (i < 8) == (j < 8)
+
+    def test_uniform_random_covers_space(self):
+        pattern = make_pattern("uniform_random", NODES)
+        rng = random.Random(0)
+        seen = {pattern.destination(0, rng) for _ in range(500)}
+        assert len(seen) == 15  # everyone except the source
+
+
+class TestActiveSubsets:
+    """Patterns must work over non-contiguous (down-scaled) node sets."""
+
+    SUBSET = [1, 3, 4, 7, 9, 12, 15, 16]
+
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_destinations_in_subset(self, name):
+        pattern = make_pattern(name, self.SUBSET)
+        rng = random.Random(1)
+        for src in self.SUBSET:
+            for _ in range(10):
+                assert pattern.destination(src, rng) in self.SUBSET
+
+    def test_unknown_source_rejected(self):
+        pattern = make_pattern("tornado", self.SUBSET)
+        with pytest.raises(ValueError):
+            pattern.destination(2, random.Random(0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    name=st.sampled_from(sorted(PATTERNS)),
+    n=st.integers(min_value=2, max_value=64),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_destination_valid(name, n, seed):
+    """Property: every pattern yields valid non-self destinations."""
+    nodes = list(range(n))
+    pattern = make_pattern(name, nodes)
+    rng = random.Random(seed)
+    for src in nodes[: min(8, n)]:
+        dst = pattern.destination(src, rng)
+        assert dst in nodes
+        if name in ("uniform_random", "hotspot", "partition2", "opposite"):
+            assert dst != src

@@ -1,0 +1,67 @@
+"""Processor attachment strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.topology import StringFigureTopology
+from repro.traffic.sources import SOURCE_STRATEGIES, select_sources
+
+
+@pytest.fixture
+def topo():
+    return StringFigureTopology(36, 4, seed=3)
+
+
+class TestStrategies:
+    def test_all_returns_everything(self, topo):
+        assert select_sources(topo, "all") == topo.active_nodes
+
+    def test_subset_spread(self, topo):
+        picks = select_sources(topo, "subset", count=4)
+        assert len(picks) == 4
+        assert picks == sorted(picks)
+        assert all(p in topo.active_nodes for p in picks)
+
+    def test_random_seeded(self, topo):
+        a = select_sources(topo, "random", count=4, seed=7)
+        b = select_sources(topo, "random", count=4, seed=7)
+        assert a == b
+        c = select_sources(topo, "random", count=4, seed=8)
+        assert a != c
+
+    def test_corner_nodes_on_grid_extremes(self, topo):
+        from repro.analysis.placement import GridPlacement
+
+        picks = select_sources(topo, "corner", count=4)
+        placement = GridPlacement(topo)
+        assert len(picks) == 4
+        positions = [placement.position(p) for p in picks]
+        rows = [r for r, _c in positions]
+        cols = [c for _r, c in positions]
+        assert min(rows) == 0 and min(cols) == 0
+
+    def test_count_clamped(self, topo):
+        picks = select_sources(topo, "random", count=1000)
+        assert len(picks) == topo.num_nodes
+
+    def test_invalid_strategy(self, topo):
+        with pytest.raises(ValueError):
+            select_sources(topo, "edges")
+
+    def test_invalid_count(self, topo):
+        with pytest.raises(ValueError):
+            select_sources(topo, "subset", count=0)
+
+    @pytest.mark.parametrize("strategy", SOURCE_STRATEGIES)
+    def test_respects_active_subset(self, topo, strategy):
+        active = topo.active_nodes[: len(topo.active_nodes) // 2]
+        picks = select_sources(topo, strategy, count=4, active=active)
+        assert all(p in active for p in picks)
+
+    def test_works_on_baselines(self):
+        from repro.topologies.mesh import MeshTopology
+
+        mesh = MeshTopology(36)
+        picks = select_sources(mesh, "corner", count=4)
+        assert len(picks) == 4

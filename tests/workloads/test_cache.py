@@ -1,0 +1,129 @@
+"""Cache hierarchy model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.cache import CacheHierarchy, CacheLevel
+
+
+class TestCacheLevel:
+    def test_geometry(self):
+        level = CacheLevel("L1", 32 << 10, 4, 64)
+        assert level.num_sets == 128
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheLevel("X", 1000, 4, 64)
+
+    def test_miss_then_hit(self):
+        level = CacheLevel("L1", 32 << 10, 4)
+        assert not level.lookup(1, False)
+        level.fill(1, dirty=False)
+        assert level.lookup(1, False)
+        assert level.hits == 1 and level.misses == 1
+
+    def test_lru_eviction_order(self):
+        level = CacheLevel("tiny", 4 * 64, 4, 64)  # one set, 4 ways
+        for line in range(4):
+            level.fill(line * level.num_sets, False)
+        level.lookup(0, False)  # touch line 0 -> MRU
+        victim = level.fill(4 * level.num_sets, False)
+        assert victim is not None
+        assert victim[0] != 0  # line 0 was protected by the touch
+
+    def test_dirty_tracked_on_write(self):
+        level = CacheLevel("tiny", 4 * 64, 4, 64)
+        level.fill(0, dirty=False)
+        level.lookup(0, is_write=True)
+        assert level.invalidate(0) is True
+
+    def test_invalidate_missing(self):
+        level = CacheLevel("tiny", 4 * 64, 4, 64)
+        assert level.invalidate(99) is False
+
+
+class TestHierarchy:
+    def test_paper_geometry(self):
+        h = CacheHierarchy()
+        assert h.l1.size_bytes == 32 << 10
+        assert h.l2.size_bytes == 2 << 20
+        assert h.l3.size_bytes == 32 << 20
+        assert (h.l1.assoc, h.l2.assoc, h.l3.assoc) == (4, 8, 16)
+
+    def test_first_touch_misses_to_memory(self):
+        h = CacheHierarchy()
+        ops = h.access(0, False)
+        assert ops == [(0, False)]
+
+    def test_second_touch_hits(self):
+        h = CacheHierarchy()
+        h.access(0, False)
+        assert h.access(0, False) == []
+        assert h.access(32, False) == []  # same line
+
+    def test_write_hit_absorbed(self):
+        h = CacheHierarchy()
+        h.access(0, False)
+        assert h.access(0, True) == []
+
+    def test_dirty_eviction_reaches_memory(self):
+        """Write-back: evicted dirty L3 lines become memory writes."""
+        h = CacheHierarchy(scale=1 / 512)  # tiny caches
+        writes = []
+        line = 0
+        for _ in range(20000):
+            for addr, is_write in h.access(line * 64, True):
+                if is_write:
+                    writes.append(addr)
+            line += 1
+            if writes:
+                break
+        assert writes
+
+    def test_scaled_caches_shrink(self):
+        big = CacheHierarchy()
+        small = CacheHierarchy(scale=0.01)
+        assert small.l3.size_bytes < big.l3.size_bytes
+        assert small.l3.size_bytes >= small.l3.assoc * 64
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(scale=0)
+
+    def test_miss_rates_reported(self):
+        h = CacheHierarchy()
+        h.access(0, False)
+        rates = h.miss_rates()
+        assert set(rates) == {"L1", "L2", "L3"}
+        assert all(0.0 <= r <= 1.0 for r in rates.values())
+
+    def test_streaming_misses_every_line(self):
+        """A stream larger than L3 misses at line granularity."""
+        h = CacheHierarchy(scale=0.001)
+        memory_reads = 0
+        lines = 4 * (h.l3.size_bytes // 64)
+        for i in range(lines):
+            ops = h.access(i * 64, False)
+            memory_reads += sum(1 for _a, w in ops if not w)
+        assert memory_reads >= lines * 0.99
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    addrs=st.lists(
+        st.integers(min_value=0, max_value=1 << 22), min_size=1, max_size=300
+    ),
+)
+def test_property_at_most_two_memory_ops_per_access(addrs):
+    """Each CPU access yields <= 1 demand read + <= 2 writebacks."""
+    h = CacheHierarchy(scale=0.001)
+    for addr in addrs:
+        ops = h.access(addr, True)
+        assert len(ops) <= 3
+        reads = [a for a, w in ops if not w]
+        assert len(reads) <= 1
+        if reads:
+            assert reads[0] == (addr // 64) * 64

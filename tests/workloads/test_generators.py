@@ -1,0 +1,96 @@
+"""The eight Table IV workload generators."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.workloads.generators import WORKLOADS, make_workload
+
+EXPECTED = {
+    "wordcount",
+    "grep",
+    "sort",
+    "pagerank",
+    "redis",
+    "memcached",
+    "matmul",
+    "kmeans",
+}
+
+
+def _sample(name: str, n: int = 5000, scale: float = 0.01):
+    stream = make_workload(name).stream(seed=1, scale=scale)
+    return list(itertools.islice(stream, n))
+
+
+class TestCatalog:
+    def test_all_eight_present(self):
+        assert set(WORKLOADS) == EXPECTED
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("tpcc")
+
+    def test_descriptions_nonempty(self):
+        for w in WORKLOADS.values():
+            assert w.description
+            assert w.footprint_bytes > 0
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+class TestStreams:
+    def test_yields_accesses(self, name):
+        sample = _sample(name)
+        assert len(sample) == 5000
+        for addr, is_write in sample:
+            assert addr >= 0
+            assert isinstance(is_write, bool)
+
+    def test_deterministic(self, name):
+        assert _sample(name, 500) == _sample(name, 500)
+
+    def test_read_write_mix(self, name):
+        sample = _sample(name)
+        reads = sum(1 for _a, w in sample if not w)
+        read_fraction = reads / len(sample)
+        expected = WORKLOADS[name].read_fraction
+        assert read_fraction == pytest.approx(expected, abs=0.2)
+
+
+class TestCharacter:
+    def test_grep_is_mostly_sequential(self):
+        sample = _sample("grep", 2000)
+        reads = [a for a, w in sample if not w]
+        sequential = sum(
+            1 for a, b in zip(reads, reads[1:]) if b - a == 64
+        )
+        assert sequential / len(reads) > 0.9
+
+    def test_redis_skewed(self):
+        """Zipfian keys: the top key appears far above uniform share."""
+        sample = _sample("redis", 20000)
+        index_reads = [a for a, w in sample if not w and a < (1 << 22)]
+        counts: dict[int, int] = {}
+        for a in index_reads:
+            counts[a] = counts.get(a, 0) + 1
+        top = max(counts.values())
+        assert top > 5 * (len(index_reads) / max(1, len(counts)))
+
+    def test_matmul_reuses_blocks(self):
+        sample = _sample("matmul", 20000)
+        unique_lines = {a // 64 for a, _w in sample}
+        assert len(unique_lines) < len(sample) / 2  # heavy reuse
+
+    def test_kmeans_centroids_hot(self):
+        sample = _sample("kmeans", 20000, scale=0.002)
+        addrs = [a for a, _w in sample]
+        hot_region = max(addrs) - 64 * 64  # centroid block at the top
+        hot = sum(1 for a in addrs if a >= hot_region)
+        assert hot > len(addrs) * 0.2
+
+    def test_sort_write_heavy(self):
+        sample = _sample("sort", 10000)
+        writes = sum(1 for _a, w in sample if w)
+        assert writes / len(sample) > 0.3

@@ -1,0 +1,81 @@
+"""Closed-loop trace-driven runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topologies.registry import make_policy, make_topology
+from repro.workloads.runner import pick_socket_nodes, run_workload
+from repro.workloads.trace import collect_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return collect_trace("redis", max_memory_accesses=1500, scale=0.02)
+
+
+@pytest.fixture(scope="module")
+def sf_result(trace):
+    topo = make_topology("SF", 36, seed=1)
+    return run_workload(topo, make_policy(topo), trace)
+
+
+class TestSocketPlacement:
+    def test_four_spread_sockets(self):
+        nodes = pick_socket_nodes(list(range(64)), 4)
+        assert nodes == [0, 16, 32, 48]
+
+    def test_fewer_nodes_than_sockets(self):
+        assert pick_socket_nodes([3, 7], 4) == [3, 7]
+
+
+class TestRun:
+    def test_all_operations_complete(self, trace, sf_result):
+        assert sf_result.operations == trace.num_accesses
+
+    def test_runtime_positive(self, sf_result):
+        assert sf_result.runtime_cycles > 0
+
+    def test_read_latency_sane(self, sf_result):
+        # Reads must at least pay a round trip plus DRAM service.
+        assert sf_result.avg_read_latency > 10
+        assert sf_result.avg_read_latency < 10_000
+
+    def test_energy_populated(self, sf_result):
+        assert sf_result.energy.network_pj > 0
+        assert sf_result.energy.dram_pj > 0
+
+    def test_edp_positive(self, sf_result):
+        assert sf_result.edp() > 0
+
+    def test_ipc_positive(self, sf_result):
+        assert sf_result.ipc > 0
+
+    def test_throughput_metric(self, sf_result):
+        assert sf_result.throughput_ops_per_kcycle > 0
+
+    def test_deterministic(self, trace):
+        topo = make_topology("SF", 36, seed=1)
+        a = run_workload(topo, make_policy(topo), trace)
+        b = run_workload(topo, make_policy(topo), trace)
+        assert a.runtime_cycles == b.runtime_cycles
+        assert a.operations == b.operations
+
+    def test_mlp_speeds_up_runtime(self, trace):
+        topo = make_topology("SF", 36, seed=1)
+        serial = run_workload(topo, make_policy(topo), trace, mlp=1)
+        parallel = run_workload(topo, make_policy(topo), trace, mlp=16)
+        assert parallel.runtime_cycles < serial.runtime_cycles
+
+    def test_mesh_slower_than_sf(self, trace):
+        """Topology quality shows up in workload runtime."""
+        sf = make_topology("SF", 36, seed=1)
+        dm = make_topology("DM", 36, seed=1)
+        sf_run = run_workload(sf, make_policy(sf), trace)
+        dm_run = run_workload(dm, make_policy(dm), trace)
+        assert sf_run.avg_read_latency < dm_run.avg_read_latency
+
+    def test_incomplete_run_raises(self, trace):
+        topo = make_topology("SF", 36, seed=1)
+        with pytest.raises(RuntimeError):
+            run_workload(topo, make_policy(topo), trace, max_cycles=10)

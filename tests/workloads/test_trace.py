@@ -1,0 +1,78 @@
+"""Trace collection through the cache hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.trace import CLOCK_RATIO, collect_trace
+
+
+class TestCollection:
+    def test_collects_requested_count(self):
+        trace = collect_trace("grep", max_memory_accesses=500, scale=0.01)
+        assert trace.num_accesses == 500
+
+    def test_timestamps_monotonic(self):
+        trace = collect_trace("redis", max_memory_accesses=500, scale=0.01)
+        cycles = [a.cycle for a in trace.accesses]
+        assert cycles == sorted(cycles)
+
+    def test_clock_ratio(self):
+        assert CLOCK_RATIO == pytest.approx(6.4)
+
+    def test_cpi_stretches_time(self):
+        fast = collect_trace("grep", max_memory_accesses=300, scale=0.01, cpi=1.0)
+        slow = collect_trace("grep", max_memory_accesses=300, scale=0.01, cpi=4.0)
+        assert slow.span_cycles > 2 * fast.span_cycles
+
+    def test_deterministic(self):
+        a = collect_trace("redis", max_memory_accesses=300, scale=0.01, seed=3)
+        b = collect_trace("redis", max_memory_accesses=300, scale=0.01, seed=3)
+        assert [(x.cycle, x.addr, x.is_write) for x in a.accesses] == [
+            (x.cycle, x.addr, x.is_write) for x in b.accesses
+        ]
+
+    def test_seed_changes_trace(self):
+        a = collect_trace("redis", max_memory_accesses=300, scale=0.01, seed=1)
+        b = collect_trace("redis", max_memory_accesses=300, scale=0.01, seed=2)
+        assert [x.addr for x in a.accesses] != [x.addr for x in b.accesses]
+
+    def test_miss_rates_populated(self):
+        trace = collect_trace("grep", max_memory_accesses=200, scale=0.01)
+        assert set(trace.miss_rates) == {"L1", "L2", "L3"}
+
+    def test_mpki_positive(self):
+        trace = collect_trace("redis", max_memory_accesses=500, scale=0.01)
+        assert trace.mpki > 0
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            collect_trace("nosql")
+
+
+class TestSteadyState:
+    def test_warmup_produces_writebacks(self):
+        """Steady-state traces include dirty write-backs (sort writes
+        half its footprint)."""
+        trace = collect_trace("sort", max_memory_accesses=2000, scale=0.02)
+        assert trace.write_fraction > 0.1
+
+    def test_no_warmup_is_colder(self):
+        warm = collect_trace(
+            "sort", max_memory_accesses=1000, scale=0.02, warmup=True
+        )
+        cold = collect_trace(
+            "sort", max_memory_accesses=1000, scale=0.02, warmup=False
+        )
+        assert warm.write_fraction >= cold.write_fraction
+
+    def test_matmul_mostly_absorbed(self):
+        """Compute-bound matmul generates sparse memory traffic."""
+        trace = collect_trace(
+            "matmul",
+            max_memory_accesses=2000,
+            scale=0.02,
+            max_cpu_accesses=100_000,
+        )
+        assert trace.num_accesses < 2000  # capped by CPU budget
+        assert trace.mpki < 50

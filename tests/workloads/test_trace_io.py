@@ -1,0 +1,46 @@
+"""Trace save/load round-tripping."""
+
+from __future__ import annotations
+
+from repro.workloads.trace import WorkloadTrace, collect_trace
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        trace = collect_trace("grep", max_memory_accesses=300, scale=0.01)
+        path = tmp_path / "grep.trace"
+        trace.save(path)
+        loaded = WorkloadTrace.load(path)
+        assert loaded.workload == trace.workload
+        assert loaded.num_accesses == trace.num_accesses
+        assert loaded.instructions == trace.instructions
+        assert loaded.miss_rates == trace.miss_rates
+        for a, b in zip(trace.accesses, loaded.accesses):
+            assert (a.cycle, a.addr, a.is_write, a.instruction_id) == (
+                b.cycle,
+                b.addr,
+                b.is_write,
+                b.instruction_id,
+            )
+
+    def test_loaded_trace_replays(self, tmp_path):
+        from repro.topologies.registry import make_policy, make_topology
+        from repro.workloads.runner import run_workload
+
+        trace = collect_trace("redis", max_memory_accesses=400, scale=0.01)
+        path = tmp_path / "redis.trace"
+        trace.save(path)
+        loaded = WorkloadTrace.load(path)
+        topo = make_topology("SF", 16, seed=1)
+        a = run_workload(topo, make_policy(topo), trace)
+        b = run_workload(topo, make_policy(topo), loaded)
+        assert a.runtime_cycles == b.runtime_cycles
+        assert a.operations == b.operations
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        trace = WorkloadTrace(workload="empty")
+        path = tmp_path / "empty.trace"
+        trace.save(path)
+        loaded = WorkloadTrace.load(path)
+        assert loaded.num_accesses == 0
+        assert loaded.workload == "empty"
