@@ -10,52 +10,59 @@ Paper findings reproduced:
   uniform random, hotspot and tornado traffic;
 * hotspot traffic saturates everyone early (a single destination's
   ports bound throughput) — mesh tolerates it comparatively well.
+
+The whole figure is one declarative ``saturation`` sweep: pattern x
+design x scale grid points run (in parallel, cached) through the
+experiment engine; node counts a design cannot realize come back as
+unsupported points and print as ``-``.
 """
 
 from __future__ import annotations
 
 from conftest import print_table, scale
 
-from repro.analysis.saturation import find_saturation
-from repro.topologies.registry import make_policy, make_topology
-from repro.traffic.patterns import make_pattern
+from repro.experiments import ExperimentSpec
 
 SIZES = scale([16, 36, 64], [16, 36, 64, 128, 256])
 DESIGNS = ("DM", "ODM", "S2", "SF")
 PATTERNS = ("uniform_random", "tornado", "hotspot")
 
-
-def saturation_point(name: str, n: int, pattern_name: str) -> float | None:
-    try:
-        topo = make_topology(name, n, seed=4)
-    except ValueError:
-        return None
-    policy = make_policy(topo)
-    pattern = make_pattern(pattern_name, topo.active_nodes)
-    return find_saturation(
-        topo,
-        policy,
-        pattern,
-        warmup=scale(120, 200),
-        measure=scale(300, 500),
-        drain_limit=scale(8000, 20000),
-        resolution=scale(0.1, 0.05),
-        seed=2,
-    )
+SPEC = ExperimentSpec(
+    name="fig10-saturation",
+    kind="saturation",
+    designs=DESIGNS,
+    nodes=SIZES,
+    patterns=PATTERNS,
+    seeds=(2,),
+    topology_seed=4,
+    sim_params={
+        "warmup": scale(120, 200),
+        "measure": scale(300, 500),
+        "drain_limit": scale(8000, 20000),
+        "resolution": scale(0.1, 0.05),
+    },
+)
 
 
-def reproduce_figure10() -> dict[str, dict[str, dict[int, float | None]]]:
-    return {
-        pattern: {
-            name: {n: saturation_point(name, n, pattern) for n in SIZES}
-            for name in DESIGNS
+def test_figure10_saturation(benchmark, record_result, experiment_runner):
+    def reproduce():
+        sweep = experiment_runner.run(SPEC)
+        print(f"\n[engine] fig10: {sweep.summary()}")
+        return {
+            pattern: {
+                name: {
+                    n: sweep.value(
+                        "saturation_rate",
+                        design=name, nodes=n, pattern=pattern,
+                    )
+                    for n in SIZES
+                }
+                for name in DESIGNS
+            }
+            for pattern in PATTERNS
         }
-        for pattern in PATTERNS
-    }
 
-
-def test_figure10_saturation(benchmark, record_result):
-    data = benchmark.pedantic(reproduce_figure10, rounds=1, iterations=1)
+    data = benchmark.pedantic(reproduce, rounds=1, iterations=1)
     for pattern in PATTERNS:
         rows = []
         for n in SIZES:

@@ -12,15 +12,17 @@ findings:
   physically one hop apart, SF's are not (the paper highlights this
   exception);
 * SF tracks S2-ideal closely everywhere.
+
+The figure is one declarative ``synthetic`` sweep (design x pattern x
+rate grid) through the experiment engine; each topology is built once
+per worker process rather than once per pattern.
 """
 
 from __future__ import annotations
 
 from conftest import print_table, scale
 
-from repro.topologies.registry import make_policy, make_topology
-from repro.traffic.injection import run_synthetic
-from repro.traffic.patterns import make_pattern
+from repro.experiments import ExperimentSpec
 
 NUM_NODES = scale(64, 256)
 DESIGNS = ("ODM", "AFB", "S2", "SF")
@@ -31,43 +33,59 @@ RATES = scale(
 )
 SATURATED = float("inf")
 
-
-def latency_curve(name: str, pattern_name: str) -> dict[float, float]:
-    topo = make_topology(name, NUM_NODES, seed=4)
-    policy = make_policy(topo)
-    pattern = make_pattern(pattern_name, topo.active_nodes)
-    curve: dict[float, float] = {}
-    for rate in RATES:
-        stats = run_synthetic(
-            topo,
-            policy,
-            pattern,
-            rate,
-            warmup=scale(150, 250),
-            measure=scale(400, 700),
-            drain_limit=scale(8000, 20000),
-            seed=6,
-        )
-        if stats.accepted_rate < 0.95 or stats.measured_delivered == 0:
-            curve[rate] = SATURATED
-        else:
-            curve[rate] = stats.avg_latency
-    return curve
+SPEC = ExperimentSpec(
+    name="fig11-latency",
+    kind="synthetic",
+    designs=DESIGNS,
+    nodes=(NUM_NODES,),
+    patterns=PATTERNS,
+    rates=RATES,
+    seeds=(6,),
+    topology_seed=4,
+    sim_params={
+        "warmup": scale(150, 250),
+        "measure": scale(400, 700),
+        "drain_limit": scale(8000, 20000),
+    },
+)
 
 
-def reproduce_figure11() -> dict[str, dict[str, dict[float, float]]]:
+def _curve_point(payload) -> float | None:
+    if payload.get("unsupported"):
+        return None
+    if payload["accepted_rate"] < 0.95 or payload["measured_delivered"] == 0:
+        return SATURATED
+    return payload["avg_latency"]
+
+
+def reproduce_figure11(sweep) -> dict[str, dict[str, dict[float, float]]]:
     return {
-        pattern: {name: latency_curve(name, pattern) for name in DESIGNS}
+        pattern: {
+            name: {
+                rate: _curve_point(
+                    sweep.get(design=name, pattern=pattern, rate=rate)
+                )
+                for rate in RATES
+            }
+            for name in DESIGNS
+        }
         for pattern in PATTERNS
     }
 
 
-def _fmt(value: float) -> str:
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
     return "sat" if value == SATURATED else f"{value:.1f}"
 
 
-def test_figure11_latency(benchmark, record_result):
-    data = benchmark.pedantic(reproduce_figure11, rounds=1, iterations=1)
+def test_figure11_latency(benchmark, record_result, experiment_runner):
+    def reproduce():
+        sweep = experiment_runner.run(SPEC)
+        print(f"\n[engine] fig11: {sweep.summary()}")
+        return reproduce_figure11(sweep)
+
+    data = benchmark.pedantic(reproduce, rounds=1, iterations=1)
     for pattern in PATTERNS:
         rows = [
             [f"{rate:.2f}"]
@@ -92,6 +110,8 @@ def test_figure11_latency(benchmark, record_result):
     for pattern in PATTERNS:
         for name in DESIGNS:
             curve = data[pattern][name]
+            # Every design must be realizable at this figure's scale.
+            assert curve[low] is not None, (pattern, name, "unsupported")
             # Zero-load region exists and is finite.
             assert curve[low] != SATURATED, (pattern, name)
             # Latency never *improves* materially with offered load;

@@ -20,9 +20,9 @@ def test_figure12a_throughput(benchmark, record_result, workload_results):
         data = {}
         for workload in workload_results["workloads"]:
             runs = workload_results["results"][workload]
-            base = runs["DM"].throughput_ops_per_kcycle
+            base = runs["DM"]["throughput_ops_per_kcycle"]
             data[workload] = {
-                name: runs[name].throughput_ops_per_kcycle / base
+                name: runs[name]["throughput_ops_per_kcycle"] / base
                 for name in workload_results["topologies"]
             }
         return data

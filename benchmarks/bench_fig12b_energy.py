@@ -19,20 +19,23 @@ from __future__ import annotations
 
 from conftest import print_table
 
-from repro.energy.model import EnergyModel
+from repro.energy.model import radix_energy_factor
+
+
+def _radix_aware_pj(payload, radix: int) -> float:
+    """Radix-scaled dynamic energy from an engine workload payload."""
+    return radix_energy_factor(radix) * payload["network_pj"] + payload["dram_pj"]
 
 
 def test_figure12b_energy(benchmark, record_result, workload_results):
-    model = EnergyModel()
-
     def collect():
         data = {}
         for workload in workload_results["workloads"]:
             runs = workload_results["results"][workload]
             energy = {
-                name: model.from_stats(
-                    runs[name].stats, radix=workload_results["radix"][name]
-                ).total_pj
+                name: _radix_aware_pj(
+                    runs[name], workload_results["radix"][name]
+                )
                 for name in workload_results["topologies"]
             }
             base = energy["AFB"]

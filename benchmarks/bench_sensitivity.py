@@ -11,6 +11,13 @@ One bench per design choice the paper (or our DESIGN.md) calls out:
   BalancedCoordinateGen (Figure 4b);
 * **shortcut ablation on a down-scaled network** — shortcuts are the
   mechanism that keeps reconfigured networks fast (and S2 lacks them).
+
+Each study is a family of declarative ``path_stats`` specs (one per
+knob setting) run through the experiment engine; variant specs derive
+from a shared base via :meth:`ExperimentSpec.with_overrides`, and
+shared grid points (e.g. the full-precision reference topology) are
+simulated once.  The shortcut ablation stays hand-rolled: it mutates a
+topology mid-experiment, which pure cacheable tasks must not do.
 """
 
 from __future__ import annotations
@@ -21,24 +28,47 @@ from repro.analysis.paths import greedy_path_stats
 from repro.core.reconfig import ReconfigurationManager
 from repro.core.routing import GreediestRouting
 from repro.core.topology import StringFigureTopology
+from repro.experiments import ExperimentSpec
 
 SIZES = scale([32, 64, 128], [32, 64, 128, 256, 512])
 PAIRS = scale(800, 2500)
 
+BASE = ExperimentSpec(
+    name="sensitivity",
+    kind="path_stats",
+    designs=("SF",),
+    nodes=SIZES,
+    seeds=(1,),
+    topology_params={"ports": 4},
+    sim_params={"sample_pairs": PAIRS},
+)
 
-def mean_hops(topology, use_two_hop=True, seed=1) -> float:
-    routing = GreediestRouting(topology, use_two_hop=use_two_hop)
-    return greedy_path_stats(routing, sample_pairs=PAIRS, seed=seed).mean
 
+def test_unidirectional_vs_bidirectional(
+    benchmark, record_result, experiment_runner
+):
+    specs = {
+        direction: BASE.with_overrides(
+            name=f"sensitivity-direction-{direction}",
+            topology_seed=2,
+            topology_params={"direction": direction},
+        )
+        for direction in ("bi", "uni")
+    }
 
-def test_unidirectional_vs_bidirectional(benchmark, record_result):
     def run():
-        data = {}
-        for n in SIZES:
-            bi = StringFigureTopology(n, 4, seed=2, direction="bi")
-            uni = StringFigureTopology(n, 4, seed=2, direction="uni")
-            data[n] = {"bi": mean_hops(bi), "uni": mean_hops(uni)}
-        return data
+        sweep = experiment_runner.run(list(specs.values()))
+        print(f"\n[engine] direction: {sweep.summary()}")
+        return {
+            n: {
+                d: sweep.value(
+                    "mean_hops", nodes=n,
+                    topology_params=specs[d].tasks()[0].topology_params,
+                )
+                for d in specs
+            }
+            for n in SIZES
+        }
 
     data = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [
@@ -63,16 +93,31 @@ def test_unidirectional_vs_bidirectional(benchmark, record_result):
     assert all(r > 1.0 for r in ratios)
 
 
-def test_one_hop_vs_two_hop_tables(benchmark, record_result):
+def test_one_hop_vs_two_hop_tables(
+    benchmark, record_result, experiment_runner
+):
+    specs = {
+        label: BASE.with_overrides(
+            name=f"sensitivity-tables-{label}",
+            topology_seed=3,
+            sim_params={"use_two_hop": use_two_hop},
+        )
+        for label, use_two_hop in (("two_hop", True), ("one_hop", False))
+    }
+
     def run():
-        data = {}
-        for n in SIZES:
-            topo = StringFigureTopology(n, 4, seed=3)
-            data[n] = {
-                "two_hop": mean_hops(topo, use_two_hop=True),
-                "one_hop": mean_hops(topo, use_two_hop=False),
+        sweep = experiment_runner.run(list(specs.values()))
+        print(f"\n[engine] table depth: {sweep.summary()}")
+        return {
+            n: {
+                label: sweep.value(
+                    "mean_hops", nodes=n,
+                    sim_params=specs[label].tasks()[0].sim_params,
+                )
+                for label in specs
             }
-        return data
+            for n in SIZES
+        }
 
     data = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [
@@ -92,26 +137,46 @@ def test_one_hop_vs_two_hop_tables(benchmark, record_result):
     assert data[big]["two_hop"] < 0.8 * data[big]["one_hop"]
 
 
-def test_coordinate_precision(benchmark, record_result):
+def test_coordinate_precision(benchmark, record_result, experiment_runner):
     """Quantized (hardware) coordinates versus full precision.
 
     Meaningful quantization requires 2^bits >= N (distinct grid points
     per node — the construction deduplicates on the grid); each bit
     width is therefore evaluated at the largest scale it supports:
     5 bits at N=24, 7 bits (the paper's table entry width) at N=96.
+    The full-precision reference at each N is one shared grid point —
+    the engine deduplicates it across variants.
     """
+    cases = ((5, 24), (7, 96), (10, 96), (None, 96))
+
+    def spec_for(bits, n):
+        return BASE.with_overrides(
+            name=f"sensitivity-coord-{bits}-{n}",
+            nodes=[n],
+            topology_seed=4,
+            topology_params={"coord_bits": bits},
+        )
 
     def run():
-        data = {}
-        for bits, n in ((5, 24), (7, 96), (10, 96), (None, 96)):
-            topo = StringFigureTopology(n, 4, seed=4, coord_bits=bits)
-            reference = StringFigureTopology(n, 4, seed=4, coord_bits=None)
-            data[str(bits)] = {
+        specs = [spec_for(bits, n) for bits, n in cases]
+        specs += [spec_for(None, n) for _bits, n in cases]
+        sweep = experiment_runner.run(specs)
+        print(f"\n[engine] coord precision: {sweep.summary()}")
+
+        def hops(bits, n):
+            return sweep.value(
+                "mean_hops", nodes=n,
+                topology_params=spec_for(bits, n).tasks()[0].topology_params,
+            )
+
+        return {
+            str(bits): {
                 "n": n,
-                "hops": mean_hops(topo),
-                "reference": mean_hops(reference),
+                "hops": hops(bits, n),
+                "reference": hops(None, n),
             }
-        return data
+            for bits, n in cases
+        }
 
     data = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [
@@ -130,17 +195,31 @@ def test_coordinate_precision(benchmark, record_result):
     assert data["10"]["hops"] <= data["10"]["reference"] * 1.10
 
 
-def test_balanced_coordinate_generation(benchmark, record_result):
+def test_balanced_coordinate_generation(
+    benchmark, record_result, experiment_runner
+):
+    candidate_counts = (1, 4, 8, 16)
+    specs = {
+        k: BASE.with_overrides(
+            name=f"sensitivity-balance-{k}",
+            nodes=[128],
+            topology_seed=5,
+            topology_params={"candidates": k},
+        )
+        for k in candidate_counts
+    }
+
     def run():
+        sweep = experiment_runner.run(list(specs.values()))
+        print(f"\n[engine] balance: {sweep.summary()}")
         data = {}
-        for candidates in (1, 4, 8, 16):
-            topo = StringFigureTopology(128, 4, seed=5, candidates=candidates)
-            balance = min(
-                topo.coords.balance_score(s) for s in range(topo.num_spaces)
+        for k in candidate_counts:
+            payload = sweep.get(
+                topology_params=specs[k].tasks()[0].topology_params
             )
-            data[candidates] = {
-                "balance": balance,
-                "hops": mean_hops(topo),
+            data[k] = {
+                "balance": payload["min_balance"],
+                "hops": payload["mean_hops"],
             }
         return data
 
@@ -163,7 +242,12 @@ def test_balanced_coordinate_generation(benchmark, record_result):
 
 
 def test_shortcut_ablation_downscaled(benchmark, record_result):
-    """Shortcuts are what keeps a down-scaled network fast."""
+    """Shortcuts are what keeps a down-scaled network fast.
+
+    Stays outside the experiment engine: the ablation mutates one
+    topology in place (gating + shortcut deactivation), so its two
+    measurements are not independent cacheable tasks.
+    """
 
     def run():
         results = {}

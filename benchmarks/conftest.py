@@ -12,17 +12,24 @@ Scale control: set ``REPRO_BENCH_SCALE=full`` for paper-scale sweeps
 experiment's structure but trims node counts and sample sizes so the
 whole harness finishes in minutes.  Results are also dumped as JSON
 under ``benchmarks/results/`` for EXPERIMENTS.md bookkeeping.
+
+The figure sweeps run through the parallel experiment engine
+(:mod:`repro.experiments`): set ``REPRO_BENCH_WORKERS=N`` to simulate
+grid points across N processes (results are identical at any worker
+count), and delete ``benchmarks/results/cache/`` to force
+re-simulation — by default previously simulated grid points are served
+from the on-disk result cache.
 """
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+CACHE_DIR = RESULTS_DIR / "cache"
 
 FULL = os.environ.get("REPRO_BENCH_SCALE", "quick").lower() == "full"
 
@@ -33,28 +40,46 @@ def scale(quick, full):
 
 
 @pytest.fixture(scope="session")
+def experiment_runner():
+    """Session-wide parallel experiment runner with the on-disk cache.
+
+    ``REPRO_BENCH_WORKERS`` selects the process count (default 1 =
+    in-process; 0 = one per CPU).  Setting ``REPRO_BENCH_NO_CACHE=1``
+    disables the result cache for a from-scratch run.
+    """
+    from repro.experiments import ParallelRunner, ResultCache
+
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1") or 1)
+    cache = (
+        None
+        if os.environ.get("REPRO_BENCH_NO_CACHE")
+        else ResultCache(CACHE_DIR)
+    )
+    return ParallelRunner(workers=workers, cache=cache)
+
+
+@pytest.fixture(scope="session")
 def record_result():
     """Persist a figure's reproduced data as JSON for EXPERIMENTS.md."""
+    from repro.experiments.report import write_result_json
 
     def _record(name: str, data) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / f"{name}.json"
-        with open(path, "w") as fh:
-            json.dump(data, fh, indent=2, sort_keys=True)
+        write_result_json(RESULTS_DIR / f"{name}.json", data)
 
     return _record
 
 
 @pytest.fixture(scope="session")
-def workload_results():
+def workload_results(experiment_runner):
     """Shared trace-driven runs used by Figure 12(a) and 12(b).
 
-    Returns ``{workload: {topology: WorkloadResult}}`` plus the node
-    count and radix map, computed once per session.
+    Declares one ``workload``-kind sweep over the Table IV workloads x
+    evaluated topologies and runs it through the experiment engine
+    (traces are collected once per worker process and reused across
+    topologies).  Returns ``{workload: {topology: payload dict}}`` plus
+    the node count and radix map.
     """
-    from repro.topologies.registry import make_policy, make_topology
-    from repro.workloads.runner import run_workload
-    from repro.workloads.trace import collect_trace
+    from repro.experiments import ExperimentSpec
 
     num_nodes = scale(64, 256)
     trace_size = scale(2000, 8000)
@@ -69,25 +94,28 @@ def workload_results():
         "kmeans",
     )
     topologies = ("DM", "ODM", "AFB", "S2", "SF")
-    results: dict[str, dict[str, object]] = {}
+    spec = ExperimentSpec(
+        name="fig12-workloads",
+        kind="workload",
+        designs=topologies,
+        nodes=(num_nodes,),
+        workloads=workloads,
+        seeds=(0,),
+        topology_seed=3,
+        sim_params={
+            "trace_accesses": trace_size,
+            "trace_scale": 0.02,
+            "trace_seed": 7,
+            "max_cpu_accesses": 300_000,
+        },
+    )
+    sweep = experiment_runner.run(spec)
+    print(f"\n[engine] fig12 workloads: {sweep.summary()}")
+    results: dict[str, dict[str, dict]] = {w: {} for w in workloads}
     radix: dict[str, int] = {}
-    for workload in workloads:
-        trace = collect_trace(
-            workload,
-            max_memory_accesses=trace_size,
-            scale=0.02,
-            seed=7,
-            max_cpu_accesses=300_000,
-        )
-        results[workload] = {}
-        for name in topologies:
-            topo = make_topology(name, num_nodes, seed=3)
-            radix[name] = (
-                topo.num_ports if hasattr(topo, "num_ports") else topo.radix
-            )
-            results[workload][name] = run_workload(
-                topo, make_policy(topo), trace
-            )
+    for task, payload in sweep:
+        results[task.workload][task.design] = payload
+        radix[task.design] = payload["radix"]
     return {
         "results": results,
         "radix": radix,
@@ -99,11 +127,7 @@ def workload_results():
 
 def print_table(title: str, header: list[str], rows: list[list]) -> None:
     """Render one reproduced figure/table to stdout."""
+    from repro.experiments.report import render_table
+
     print(f"\n### {title}")
-    widths = [
-        max(len(str(header[i])), max((len(f"{r[i]}") for r in rows), default=0))
-        for i in range(len(header))
-    ]
-    print("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
-    for row in rows:
-        print("  ".join(f"{c}".rjust(w) for c, w in zip(row, widths)))
+    print(render_table(header, rows))

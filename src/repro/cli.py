@@ -10,6 +10,9 @@ Four subcommands cover the library's main entry points:
   read latency, and energy.
 * ``reconfigure`` — demonstrate elastic scaling: gate a fraction of a
   String Figure network, probe it, and restore it.
+* ``sweep`` — run a declarative experiment grid (designs x nodes x
+  patterns x rates x seeds, or workload replays) through the parallel
+  experiment engine, with multiprocess execution and result caching.
 """
 
 from __future__ import annotations
@@ -55,6 +58,59 @@ def build_parser() -> argparse.ArgumentParser:
     reconf.add_argument("--ports", type=int, default=8)
     reconf.add_argument("--fraction", type=float, default=0.25)
     reconf.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser(
+        "sweep", help="declarative experiment grid (parallel + cached)"
+    )
+    sweep.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="JSON ExperimentSpec file (grid flags below are ignored)",
+    )
+    sweep.add_argument(
+        "--kind", default="synthetic",
+        choices=("synthetic", "saturation", "workload", "path_stats"),
+    )
+    sweep.add_argument(
+        "--designs", default="SF",
+        help="comma-separated topology names (default: SF)",
+    )
+    sweep.add_argument(
+        "--nodes", default="64", help="comma-separated node counts"
+    )
+    sweep.add_argument(
+        "--patterns", default="uniform_random",
+        help="comma-separated traffic patterns",
+    )
+    sweep.add_argument(
+        "--rates", default="0.1,0.2,0.4",
+        help="comma-separated injection rates (synthetic kind)",
+    )
+    sweep.add_argument(
+        "--workloads", default="redis",
+        help="comma-separated Table IV workloads (workload kind)",
+    )
+    sweep.add_argument("--seeds", default="0", help="comma-separated seeds")
+    sweep.add_argument("--topology-seed", type=int, default=0)
+    sweep.add_argument("--warmup", type=int, default=None)
+    sweep.add_argument("--measure", type=int, default=None)
+    sweep.add_argument("--drain-limit", type=int, default=None)
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="process count (0 = one per CPU; results identical)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: benchmarks/results/cache "
+             "when run from the repo, else ~/.cache/string-figure-repro)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="run every point even if cached, and store nothing",
+    )
+    sweep.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also dump raw task payloads as JSON",
+    )
 
     return parser
 
@@ -168,11 +224,71 @@ def _cmd_reconfigure(args) -> int:
     return 0
 
 
+def _split(text: str, convert=str) -> list:
+    return [convert(item.strip()) for item in text.split(",") if item.strip()]
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments import ExperimentSpec, ParallelRunner, ResultCache
+    from repro.experiments.report import sweep_table, write_result_json
+
+    if args.spec:
+        spec = ExperimentSpec.from_file(args.spec)
+    else:
+        sim_params = {
+            key: value
+            for key, value in (
+                ("warmup", args.warmup),
+                ("measure", args.measure),
+                ("drain_limit", args.drain_limit),
+            )
+            if value is not None
+        }
+        spec = ExperimentSpec(
+            name="cli-sweep",
+            kind=args.kind,
+            designs=_split(args.designs),
+            nodes=_split(args.nodes, int),
+            patterns=_split(args.patterns),
+            rates=_split(args.rates, float),
+            workloads=_split(args.workloads),
+            seeds=_split(args.seeds, int),
+            topology_seed=args.topology_seed,
+            sim_params=sim_params,
+        )
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        from pathlib import Path
+
+        repo_default = Path("benchmarks/results/cache")
+        cache_dir = (
+            repo_default
+            if repo_default.parent.parent.is_dir()
+            else Path.home() / ".cache" / "string-figure-repro"
+        )
+    cache = None if args.no_cache else ResultCache(cache_dir)
+    runner = ParallelRunner(workers=args.workers, cache=cache)
+    result = runner.run(spec)
+    print(sweep_table(result))
+    print(f"\n{spec.name} [{spec.spec_hash()}]: {result.summary()}")
+    if cache is not None:
+        print(f"cache: {cache.directory}")
+    if args.output:
+        path = write_result_json(
+            args.output,
+            {task.key(): {"task": task.to_dict(), "payload": payload}
+             for task, payload in result},
+        )
+        print(f"payloads: {path}")
+    return 0
+
+
 _COMMANDS = {
     "topology": _cmd_topology,
     "simulate": _cmd_simulate,
     "workload": _cmd_workload,
     "reconfigure": _cmd_reconfigure,
+    "sweep": _cmd_sweep,
 }
 
 

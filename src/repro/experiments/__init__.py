@@ -1,0 +1,44 @@
+"""Unified parallel experiment engine.
+
+Declarative sweep specifications (:class:`ExperimentSpec`) expand into
+independent, pure :class:`ExperimentTask` points; a
+:class:`ParallelRunner` executes them across a multiprocessing pool (or
+serially — identical results either way), served through an on-disk
+:class:`ResultCache` and per-process memoization of topology
+construction, routing tables and workload traces.
+
+Typical use::
+
+    from repro.experiments import ExperimentSpec, ParallelRunner, ResultCache
+
+    spec = ExperimentSpec(
+        name="latency-vs-load",
+        kind="synthetic",
+        designs=("SF", "ODM"),
+        nodes=(64,),
+        patterns=("uniform_random",),
+        rates=(0.05, 0.2, 0.4),
+        seeds=(6,),
+    )
+    runner = ParallelRunner(workers=4, cache=ResultCache("results/cache"))
+    result = runner.run(spec)
+    latency = result.value("avg_latency", design="SF", rate=0.2)
+"""
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.memo import clear_memo, memo_sizes
+from repro.experiments.runner import ParallelRunner, SweepResult
+from repro.experiments.spec import ExperimentSpec, ExperimentTask, TASK_KINDS
+from repro.experiments.worker import execute_task
+
+__all__ = [
+    "TASK_KINDS",
+    "ExperimentSpec",
+    "ExperimentTask",
+    "ParallelRunner",
+    "ResultCache",
+    "SweepResult",
+    "clear_memo",
+    "execute_task",
+    "memo_sizes",
+]

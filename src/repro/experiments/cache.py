@@ -1,0 +1,143 @@
+"""On-disk result cache for experiment tasks.
+
+One JSON file per task under the cache directory, named by the task's
+stable content hash (:meth:`ExperimentTask.key`).  Because tasks are
+pure functions of their fields *and the simulator code*, entries live
+in a per-code-generation subdirectory keyed by a fingerprint of the
+``repro`` package sources: editing any simulator code automatically
+invalidates the cache (stale generations are simply ignored), so a
+cached figure can never silently reproduce pre-change numbers.  Within
+one generation, re-running a sweep with one new rate only simulates
+the new point.
+
+Layout (default root ``benchmarks/results/cache/``)::
+
+    cache/
+      <12-hex code fingerprint>/
+        <24-hex task hash>.json   # {"task": {...}, "payload": {...}}
+
+Files carry the originating task dict for debuggability; only the
+filename hash is used for lookup.  Writes go through a temp file +
+rename so a crashed run never leaves a truncated entry behind, and
+corrupt entries read as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.spec import ExperimentTask
+
+__all__ = ["ResultCache", "code_fingerprint"]
+
+_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Content hash of the ``repro`` package sources (once per process).
+
+    Any change to the simulator invalidates cached results — a
+    docstring edit costs a re-simulation, which is the safe direction.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+
+        package_dir = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(package_dir.rglob("*.py")):
+            digest.update(str(path.relative_to(package_dir)).encode())
+            digest.update(path.read_bytes())
+        _FINGERPRINT = digest.hexdigest()[:12]
+    return _FINGERPRINT
+
+
+class ResultCache:
+    """Directory-backed task-result store.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; entries land in a per-code-generation
+        subdirectory.
+    fingerprint:
+        Override the code fingerprint (tests); ``""`` disables the
+        generation subdirectory entirely.
+    """
+
+    def __init__(
+        self, directory: str | Path, fingerprint: str | None = None
+    ) -> None:
+        self.root = Path(directory)
+        self.fingerprint = (
+            code_fingerprint() if fingerprint is None else fingerprint
+        )
+        self.directory = (
+            self.root / self.fingerprint if self.fingerprint else self.root
+        )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._prune_stale_generations()
+
+    def _prune_stale_generations(self) -> None:
+        """Delete sibling generation directories from older code.
+
+        Their entries can never be served again (the fingerprint is a
+        content hash), so keeping them only grows the cache without
+        bound as sources are edited.
+        """
+        import shutil
+
+        if not self.fingerprint:
+            return
+        for sibling in self.root.iterdir():
+            if (
+                sibling.is_dir()
+                and sibling.name != self.fingerprint
+                and len(sibling.name) == 12
+                and all(c in "0123456789abcdef" for c in sibling.name)
+            ):
+                shutil.rmtree(sibling, ignore_errors=True)
+
+    def path_for(self, task: ExperimentTask) -> Path:
+        return self.directory / f"{task.key()}.json"
+
+    def get(self, task: ExperimentTask) -> dict[str, Any] | None:
+        """Cached payload for *task*, or ``None`` on a miss."""
+        path = self.path_for(task)
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, task: ExperimentTask, payload: dict[str, Any]) -> None:
+        """Store *payload* for *task* (atomic replace).
+
+        The temp name is writer-unique so concurrent sweeps sharing a
+        cache directory cannot clobber each other's in-progress writes;
+        last replace wins with a complete entry either way.
+        """
+        path = self.path_for(task)
+        tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp")
+        with open(tmp, "w") as fh:
+            json.dump({"task": task.to_dict(), "payload": payload}, fh,
+                      indent=2, sort_keys=True)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        """Entries in the current code generation."""
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete the current generation's entries; returns the count."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,156 @@
+"""Per-process memoization of expensive experiment inputs.
+
+Topology construction (coordinate generation, shortcut search) and
+routing-table builds dominate sweep setup cost: a 5-design x 8-rate x
+4-pattern grid would otherwise rebuild each topology 32 times.  These
+module-level caches live once per worker process — under
+``multiprocessing`` each pool worker fills its own copy — so every
+distinct (design, scale, seed, parameters) combination is built once
+per process and shared across all tasks that use it.
+
+Reuse is sound for determinism because everything cached is either
+immutable after construction (topologies, routing tables, traces) or
+an *exact* memo of a pure function (``GreedyPolicy``'s route cache
+stores deterministic decisions only), so a task computes the same
+result whether its inputs are fresh or reused.  Tasks that would
+mutate a topology (reconfiguration, power gating) must not go through
+these caches.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "clear_memo",
+    "memo_policy",
+    "memo_routing",
+    "memo_topology",
+    "memo_trace",
+    "memo_sizes",
+]
+
+_Frozen = tuple[tuple[str, Any], ...]
+
+_TOPOLOGIES: dict[tuple, Any] = {}
+_POLICIES: dict[tuple, Any] = {}
+_ROUTINGS: dict[tuple, Any] = {}
+_TRACES: dict[tuple, Any] = {}
+
+
+def clear_memo() -> None:
+    """Drop every memoized object (tests; long-lived processes)."""
+    _TOPOLOGIES.clear()
+    _POLICIES.clear()
+    _ROUTINGS.clear()
+    _TRACES.clear()
+
+
+def memo_sizes() -> dict[str, int]:
+    """Current entry counts per memo table (observability/tests)."""
+    return {
+        "topologies": len(_TOPOLOGIES),
+        "policies": len(_POLICIES),
+        "routings": len(_ROUTINGS),
+        "traces": len(_TRACES),
+    }
+
+
+def _topology_key(
+    design: str, nodes: int, seed: int, params: _Frozen
+) -> tuple:
+    return (design.strip().upper(), nodes, seed, params)
+
+
+def memo_topology(
+    design: str, nodes: int, seed: int, params: _Frozen = ()
+):
+    """Build (or reuse) a named topology.
+
+    ``params`` are extra :func:`repro.topologies.registry.make_topology`
+    keyword arguments in frozen form; ``ports`` is recognized and
+    forwarded to the registry's port override.
+    """
+    from repro.topologies.registry import make_topology
+
+    key = _topology_key(design, nodes, seed, params)
+    topo = _TOPOLOGIES.get(key)
+    if topo is None:
+        kwargs = dict(params)
+        ports = kwargs.pop("ports", None)
+        topo = make_topology(design, nodes, seed=seed, ports=ports, **kwargs)
+        _TOPOLOGIES[key] = topo
+    return topo
+
+
+def memo_policy(
+    design: str, nodes: int, seed: int, params: _Frozen = ()
+):
+    """Build (or reuse) a topology plus its paper routing policy."""
+    from repro.topologies.registry import make_policy
+
+    key = _topology_key(design, nodes, seed, params)
+    pair = _POLICIES.get(key)
+    if pair is None:
+        topo = memo_topology(design, nodes, seed, params)
+        pair = (topo, make_policy(topo))
+        _POLICIES[key] = pair
+    return pair
+
+
+def memo_routing(
+    design: str,
+    nodes: int,
+    seed: int,
+    params: _Frozen = (),
+    use_two_hop: bool = True,
+):
+    """Build (or reuse) a :class:`GreediestRouting` for path analyses.
+
+    Only meaningful for the coordinate-routed designs (SF/S2); raises
+    ``ValueError`` for table-routed baselines — the same category as
+    an unrealizable scale, so callers treat both as unsupported points
+    (a genuinely wrong argument, e.g. a typo'd topology kwarg, still
+    raises TypeError and propagates).
+    """
+    from repro.core.routing import GreediestRouting
+    from repro.core.topology import StringFigureTopology
+
+    key = (*_topology_key(design, nodes, seed, params), bool(use_two_hop))
+    pair = _ROUTINGS.get(key)
+    if pair is None:
+        topo = memo_topology(design, nodes, seed, params)
+        if not isinstance(topo, StringFigureTopology):
+            raise ValueError(
+                f"path_stats tasks need a coordinate-routed design, "
+                f"got {type(topo).__name__} for {design!r}"
+            )
+        pair = (topo, GreediestRouting(topo, use_two_hop=use_two_hop))
+        _ROUTINGS[key] = pair
+    return pair
+
+
+def memo_trace(
+    workload: str,
+    max_memory_accesses: int,
+    scale: float,
+    seed: int,
+    max_cpu_accesses: int | None = None,
+    cpi: float = 1.0,
+):
+    """Collect (or reuse) one workload memory trace."""
+    from repro.workloads.trace import collect_trace
+
+    key = (workload, max_memory_accesses, scale, seed, max_cpu_accesses, cpi)
+    trace = _TRACES.get(key)
+    if trace is None:
+        trace = collect_trace(
+            workload,
+            max_memory_accesses=max_memory_accesses,
+            scale=scale,
+            seed=seed,
+            cpi=cpi,
+            max_cpu_accesses=max_cpu_accesses,
+        )
+        _TRACES[key] = trace
+    return trace

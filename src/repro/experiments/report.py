@@ -1,0 +1,98 @@
+"""Rendering sweep results as text tables and JSON files.
+
+Shared by the ``repro sweep`` CLI and the benchmark harness so every
+consumer prints the same shapes.  Columns are chosen per task kind;
+unsupported grid points render as ``-``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.runner import SweepResult
+from repro.experiments.spec import ExperimentTask
+
+__all__ = ["render_table", "sweep_table", "write_result_json"]
+
+
+def render_table(header: list[str], rows: list[list[Any]]) -> str:
+    """Right-aligned fixed-width text table."""
+    widths = [
+        max(len(str(header[i])), max((len(f"{r[i]}") for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    lines = ["  ".join(str(h).rjust(w) for h, w in zip(header, widths))]
+    for row in rows:
+        lines.append("  ".join(f"{c}".rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any, spec: str = ".2f") -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return format(value, spec)
+    return str(value)
+
+
+def _row(task: ExperimentTask, payload: dict[str, Any]) -> list[str]:
+    unsupported = payload.get("unsupported")
+    if task.kind == "synthetic":
+        return [
+            task.design, task.nodes, task.pattern, f"{task.rate:g}", task.seed,
+            _fmt(None if unsupported else payload.get("avg_latency"), ".1f"),
+            _fmt(None if unsupported else payload.get("p95_latency"), ".1f"),
+            _fmt(None if unsupported else payload.get("avg_hops")),
+            _fmt(None if unsupported else payload.get("accepted_rate"), ".3f"),
+        ]
+    if task.kind == "saturation":
+        return [
+            task.design, task.nodes, task.pattern, task.seed,
+            _fmt(None if unsupported else payload.get("saturation_rate")),
+        ]
+    if task.kind == "workload":
+        return [
+            task.workload, task.design, task.nodes, task.seed,
+            _fmt(None if unsupported else payload.get("throughput_ops_per_kcycle"), ".1f"),
+            _fmt(None if unsupported else payload.get("avg_read_latency"), ".1f"),
+            _fmt(None if unsupported else payload.get("runtime_cycles")),
+        ]
+    return [  # path_stats
+        task.design, task.nodes, task.seed,
+        _fmt(None if unsupported else payload.get("mean_hops")),
+        _fmt(None if unsupported else payload.get("p90_hops"), ".1f"),
+        _fmt(None if unsupported else payload.get("max_hops")),
+    ]
+
+
+_HEADERS = {
+    "synthetic": ["design", "N", "pattern", "rate", "seed",
+                  "avg_lat", "p95_lat", "hops", "accepted"],
+    "saturation": ["design", "N", "pattern", "seed", "sat_rate"],
+    "workload": ["workload", "design", "N", "seed",
+                 "ops/kcycle", "read_lat", "runtime"],
+    "path_stats": ["design", "N", "seed", "mean_hops", "p90", "max"],
+}
+
+
+def sweep_table(result: SweepResult) -> str:
+    """Render a whole sweep, one table section per task kind."""
+    sections: list[str] = []
+    for kind in _HEADERS:
+        pairs = [(t, p) for t, p in result if t.kind == kind]
+        if not pairs:
+            continue
+        rows = [_row(task, payload) for task, payload in pairs]
+        sections.append(render_table(_HEADERS[kind], rows))
+    return "\n\n".join(sections)
+
+
+def write_result_json(path: str | Path, data: Any) -> Path:
+    """Persist figure data as pretty JSON (benchmark bookkeeping)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+    return path

@@ -138,11 +138,16 @@ class NetworkSimulator:
         return lat
 
     def port_load(self, u: int, v: int) -> float:
-        """Output-queue occupancy fraction of link ``u -> v``."""
+        """Output-queue occupancy fraction of link ``u -> v``.
+
+        Capacity scales with the link's physical channel count, so a
+        multi-channel (ODM) link at the same queue depth reports a
+        proportionally lower occupancy fraction to adaptive routing.
+        """
         port = self._ports.get((u, v))
         if port is None:
             return 0.0
-        cap = self.config.buffer_packets * self.policy.num_vcs
+        cap = self.config.buffer_packets * self.policy.num_vcs * port.channels
         return min(1.0, port.occupancy() / cap)
 
     def on_delivery(self, callback: Callable[[Packet, int], None]) -> None:

@@ -33,12 +33,31 @@ from repro.topologies.mesh import MeshTopology, OptimizedMeshTopology
 
 __all__ = [
     "TOPOLOGY_NAMES",
+    "canonical_name",
     "figure8_ports",
     "make_topology",
     "make_policy",
 ]
 
 TOPOLOGY_NAMES = ("DM", "ODM", "FB", "AFB", "S2", "SF", "Jellyfish")
+
+_ALIASES = {
+    "sf": "SF", "string-figure": "SF", "stringfigure": "SF",
+    "string_figure": "SF",
+    "s2": "S2", "s2-ideal": "S2", "s2ideal": "S2",
+    "dm": "DM", "odm": "ODM", "fb": "FB", "afb": "AFB",
+    "jellyfish": "Jellyfish",
+}
+
+
+def canonical_name(name: str) -> str:
+    """Resolve a design name/alias to its Figure 8 label, or raise."""
+    canonical = _ALIASES.get(name.strip().lower())
+    if canonical is None:
+        raise ValueError(
+            f"unknown topology {name!r}; choose from {TOPOLOGY_NAMES}"
+        )
+    return canonical
 
 
 def figure8_ports(num_nodes: int) -> int:
@@ -59,25 +78,25 @@ def make_topology(
     Jellyfish; extra ``kwargs`` reach the topology constructor (e.g.
     ``channels`` for ODM, ``segment`` for AFB, ``direction`` for SF).
     """
-    key = name.strip().lower()
-    if key in ("sf", "string-figure", "stringfigure", "string_figure"):
+    key = canonical_name(name)
+    if key == "SF":
         p = ports or figure8_ports(num_nodes)
         return StringFigureTopology(num_nodes, p, seed=seed, **kwargs)
-    if key in ("s2", "s2-ideal", "s2ideal"):
+    if key == "S2":
         p = ports or figure8_ports(num_nodes)
         return S2Topology(num_nodes, p, seed=seed, **kwargs)
-    if key == "dm":
+    if key == "DM":
         return MeshTopology(num_nodes, **kwargs)
-    if key == "odm":
+    if key == "ODM":
         return OptimizedMeshTopology(num_nodes, **kwargs)
-    if key == "fb":
+    if key == "FB":
         return FlattenedButterflyTopology(num_nodes, **kwargs)
-    if key == "afb":
+    if key == "AFB":
         return AdaptedFlattenedButterflyTopology(num_nodes, **kwargs)
-    if key == "jellyfish":
+    if key == "Jellyfish":
         degree = ports or figure8_ports(num_nodes)
         return JellyfishTopology(num_nodes, degree=degree, seed=seed, **kwargs)
-    raise ValueError(f"unknown topology {name!r}; choose from {TOPOLOGY_NAMES}")
+    raise ValueError(f"no constructor registered for {key!r}")
 
 
 def make_policy(topology, adaptive: bool = True, **kwargs) -> RoutingPolicy:

@@ -1,0 +1,108 @@
+"""Escape-buffer deadlock recovery under credit starvation.
+
+Hotspot traffic at high load with single-packet buffers drives links
+into sustained credit stalls, so the simulator's reserve-slot recovery
+must fire.  The tests pin the three guarantees the mechanism makes:
+
+* recoveries are counted in ``stats.deadlock_recoveries``;
+* every loaned reserve slot is repaid (zero debt, credits restored to
+  the full buffer capacity once the network drains);
+* downstream buffering never exceeds ``buffer_packets + reserve_slots``
+  packets per virtual channel at any point during the run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.routing import AdaptiveGreediestRouting
+from repro.core.topology import StringFigureTopology
+from repro.network.config import NetworkConfig
+from repro.network.policies import GreedyPolicy
+from repro.network.simulator import NetworkSimulator
+from repro.traffic.injection import BernoulliInjector
+from repro.traffic.patterns import make_pattern
+
+CONFIG = NetworkConfig(
+    buffer_packets=1, reserve_slots=2, deadlock_timeout_cycles=6
+)
+RUN_CYCLES = 400
+
+
+@pytest.fixture
+def starved_sim():
+    """A simulator plus invariant samples from a credit-starved run."""
+    topo = StringFigureTopology(32, 4, seed=3)
+    sim = NetworkSimulator(
+        topo, GreedyPolicy(AdaptiveGreediestRouting(topo)), CONFIG
+    )
+    pattern = make_pattern("hotspot", topo.active_nodes)
+    injector = BernoulliInjector(
+        sim, pattern, rate=0.5, warmup=0, measure=RUN_CYCLES, seed=1
+    )
+    violations: list[str] = []
+
+    def check_invariants(now: int) -> None:
+        for link, port in sim._ports.items():
+            credits = sim._credits[link]
+            capacity = CONFIG.buffer_packets * port.channels
+            debt = port.total_reserve_debt()
+            if debt > CONFIG.reserve_slots:
+                violations.append(f"t={now} {link}: debt {debt}")
+            for vc, credit in enumerate(credits):
+                if credit < 0:
+                    violations.append(f"t={now} {link} vc{vc}: credit {credit}")
+                # Packets buffered (or in flight toward) the downstream
+                # router on this VC: transmits not yet released, minus
+                # loans already active.
+                outstanding = capacity - credit + port.reserve_debt[vc]
+                if outstanding > capacity + CONFIG.reserve_slots:
+                    violations.append(
+                        f"t={now} {link} vc{vc}: {outstanding} buffered"
+                    )
+        if now < RUN_CYCLES:
+            sim.schedule(now + 1, check_invariants)
+
+    sim.schedule(1, check_invariants)
+    injector.start()
+    sim.run(until=RUN_CYCLES)
+    sim.drain(limit=200_000)
+    return sim, violations
+
+
+def test_recoveries_fire_under_starvation(starved_sim):
+    sim, _violations = starved_sim
+    assert sim.stats.deadlock_recoveries > 0
+    # The run actually completed: nothing stuck, nothing lost.
+    assert sim.pending_events == 0
+    assert sim.stats.delivered == sim.stats.injected
+
+
+def test_reserve_debt_fully_repaid(starved_sim):
+    sim, _violations = starved_sim
+    for link, port in sim._ports.items():
+        assert port.total_reserve_debt() == 0, link
+        capacity = CONFIG.buffer_packets * port.channels
+        assert sim._credits[link] == [capacity] * len(sim._credits[link]), link
+
+
+def test_buffering_stays_bounded(starved_sim):
+    _sim, violations = starved_sim
+    assert violations == []
+
+
+def test_no_recovery_at_low_load():
+    """Sanity: an unloaded network never needs the escape buffers."""
+    topo = StringFigureTopology(32, 4, seed=3)
+    sim = NetworkSimulator(
+        topo, GreedyPolicy(AdaptiveGreediestRouting(topo)), CONFIG
+    )
+    pattern = make_pattern("uniform_random", topo.active_nodes)
+    injector = BernoulliInjector(
+        sim, pattern, rate=0.02, warmup=0, measure=RUN_CYCLES, seed=1
+    )
+    injector.start()
+    sim.run(until=RUN_CYCLES)
+    sim.drain(limit=200_000)
+    assert sim.stats.deadlock_recoveries == 0
+    assert sim.stats.delivered == sim.stats.injected

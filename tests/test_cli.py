@@ -24,8 +24,15 @@ class TestParser:
             ["simulate", "DM", "--rate", "0.1"],
             ["workload", "SF", "--workload", "grep"],
             ["reconfigure", "--fraction", "0.2"],
+            ["sweep", "--designs", "SF,DM", "--rates", "0.1,0.2"],
         ):
             assert parser.parse_args(argv) is not None
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.kind == "synthetic"
+        assert args.workers == 1
+        assert not args.no_cache
 
 
 class TestCommands:
@@ -69,3 +76,55 @@ class TestCommands:
     def test_unknown_topology_errors(self):
         with pytest.raises(ValueError):
             main(["topology", "hypercube"])
+
+
+class TestSweep:
+    ARGS = [
+        "sweep", "--designs", "SF,DM", "--nodes", "16",
+        "--rates", "0.05,0.1", "--warmup", "30", "--measure", "80",
+        "--drain-limit", "2000",
+    ]
+
+    def test_sweep_runs_and_caches(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main([*self.ARGS, "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "avg_lat" in out
+        assert "4 simulated" in out
+        # Second run is served entirely from the cache.
+        assert main([*self.ARGS, "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "4 cache hits, 0 simulated" in out
+
+    def test_sweep_no_cache(self, capsys, tmp_path):
+        assert main([*self.ARGS, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "0 cache hits" in out
+        assert "cache:" not in out
+
+    def test_sweep_output_json(self, capsys, tmp_path):
+        output = tmp_path / "payloads.json"
+        assert main(
+            [*self.ARGS, "--no-cache", "--output", str(output)]
+        ) == 0
+        import json
+
+        data = json.loads(output.read_text())
+        assert len(data) == 4
+        entry = next(iter(data.values()))
+        assert entry["task"]["design"] in ("SF", "DM")
+        assert entry["payload"]["measured_delivered"] > 0
+
+    def test_sweep_from_spec_file(self, capsys, tmp_path):
+        from repro.experiments import ExperimentSpec
+
+        spec = ExperimentSpec(
+            name="filed", kind="path_stats", designs=("SF",),
+            nodes=(24,), seeds=(1,), sim_params={"sample_pairs": 100},
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert main(["sweep", "--spec", str(path), "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "mean_hops" in out
+        assert "filed" in out
