@@ -17,7 +17,7 @@ from conftest import print_table, scale
 
 from repro.analysis.paths import greedy_path_stats, shortest_path_stats
 from repro.core.routing import GreediestRouting
-from repro.topologies.registry import make_policy, make_topology
+from repro.topologies.registry import make_topology
 
 SIZES = scale([16, 64, 128, 256], [16, 64, 128, 256, 512, 1024, 1296])
 DESIGNS = ("DM", "ODM", "FB", "AFB", "S2", "SF")

@@ -30,6 +30,7 @@ from repro.core.routing import AdaptiveGreediestRouting, GreediestRouting
 from repro.core.routing_table import RoutingTable, TableEntry
 from repro.core.topology import LinkDirection, S2Topology, StringFigureTopology
 from repro.network.config import NetworkConfig
+from repro.network.elastic import LiveReconfigurator
 from repro.network.simulator import NetworkSimulator
 from repro.topologies.registry import make_policy, make_topology
 
@@ -38,6 +39,7 @@ __all__ = [
     "CoordinateSystem",
     "GreediestRouting",
     "LinkDirection",
+    "LiveReconfigurator",
     "NetworkConfig",
     "NetworkSimulator",
     "ReconfigurationManager",

@@ -9,10 +9,13 @@ Four subcommands cover the library's main entry points:
 * ``workload`` — replay a Table IV workload trace and print runtime,
   read latency, and energy.
 * ``reconfigure`` — demonstrate elastic scaling: gate a fraction of a
-  String Figure network, probe it, and restore it.
+  String Figure network, probe it, and restore it (offline).
 * ``sweep`` — run a declarative experiment grid (designs x nodes x
   patterns x rates x seeds, or workload replays) through the parallel
   experiment engine, with multiprocess execution and result caching.
+* ``churn`` — live elasticity under load: gate/wake nodes *while
+  traffic flows*, measuring per-event latency disturbance and recovery
+  time; sweeps run through the same parallel engine and cache.
 """
 
 from __future__ import annotations
@@ -108,6 +111,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every point even if cached, and store nothing",
     )
     sweep.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also dump raw task payloads as JSON",
+    )
+
+    churn = sub.add_parser(
+        "churn", help="live elasticity under load (parallel + cached)"
+    )
+    churn.add_argument("--nodes", default="64", help="comma-separated node counts")
+    churn.add_argument("--ports", type=int, default=None)
+    churn.add_argument(
+        "--gate-fraction", type=float, default=0.25,
+        help="fraction of active nodes to power-gate per event",
+    )
+    churn.add_argument(
+        "--schedule", default="cycle",
+        choices=("cycle", "periodic", "utilization"),
+        help="cycle: one gate-off + wake; periodic: duty-cycled churn; "
+             "utilization: closed-loop controller",
+    )
+    churn.add_argument("--pattern", default="uniform_random")
+    churn.add_argument(
+        "--rates", default="0.15", help="comma-separated injection rates"
+    )
+    churn.add_argument("--seeds", default="0", help="comma-separated seeds")
+    churn.add_argument("--topology-seed", type=int, default=0)
+    churn.add_argument("--warmup", type=int, default=300)
+    churn.add_argument("--measure", type=int, default=4000)
+    churn.add_argument("--drain-limit", type=int, default=60_000)
+    churn.add_argument(
+        "--workers", type=int, default=1,
+        help="process count (0 = one per CPU; results identical)",
+    )
+    churn.add_argument("--cache-dir", default=None)
+    churn.add_argument("--no-cache", action="store_true")
+    churn.add_argument(
         "--output", default=None, metavar="FILE",
         help="also dump raw task payloads as JSON",
     )
@@ -228,9 +266,47 @@ def _split(text: str, convert=str) -> list:
     return [convert(item.strip()) for item in text.split(",") if item.strip()]
 
 
-def _cmd_sweep(args) -> int:
-    from repro.experiments import ExperimentSpec, ParallelRunner, ResultCache
+def _resolve_cache_dir(cache_dir):
+    if cache_dir is not None:
+        return cache_dir
+    from pathlib import Path
+
+    repo_default = Path("benchmarks/results/cache")
+    return (
+        repo_default
+        if repo_default.parent.parent.is_dir()
+        else Path.home() / ".cache" / "string-figure-repro"
+    )
+
+
+def _run_spec_command(args, spec, per_task_report=None) -> int:
+    """Shared sweep execution tail: run, report, cache note, JSON dump."""
+    from repro.experiments import ParallelRunner, ResultCache
     from repro.experiments.report import sweep_table, write_result_json
+
+    cache = (
+        None if args.no_cache else ResultCache(_resolve_cache_dir(args.cache_dir))
+    )
+    runner = ParallelRunner(workers=args.workers, cache=cache)
+    result = runner.run(spec)
+    print(sweep_table(result))
+    if per_task_report is not None:
+        per_task_report(result)
+    print(f"\n{spec.name} [{spec.spec_hash()}]: {result.summary()}")
+    if cache is not None:
+        print(f"cache: {cache.directory}")
+    if args.output:
+        path = write_result_json(
+            args.output,
+            {task.key(): {"task": task.to_dict(), "payload": payload}
+             for task, payload in result},
+        )
+        print(f"payloads: {path}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments import ExperimentSpec
 
     if args.spec:
         spec = ExperimentSpec.from_file(args.spec)
@@ -256,31 +332,61 @@ def _cmd_sweep(args) -> int:
             topology_seed=args.topology_seed,
             sim_params=sim_params,
         )
-    cache_dir = args.cache_dir
-    if cache_dir is None:
-        from pathlib import Path
+    return _run_spec_command(args, spec)
 
-        repo_default = Path("benchmarks/results/cache")
-        cache_dir = (
-            repo_default
-            if repo_default.parent.parent.is_dir()
-            else Path.home() / ".cache" / "string-figure-repro"
-        )
-    cache = None if args.no_cache else ResultCache(cache_dir)
-    runner = ParallelRunner(workers=args.workers, cache=cache)
-    result = runner.run(spec)
-    print(sweep_table(result))
-    print(f"\n{spec.name} [{spec.spec_hash()}]: {result.summary()}")
-    if cache is not None:
-        print(f"cache: {cache.directory}")
-    if args.output:
-        path = write_result_json(
-            args.output,
-            {task.key(): {"task": task.to_dict(), "payload": payload}
-             for task, payload in result},
-        )
-        print(f"payloads: {path}")
-    return 0
+
+def _churn_report(result) -> None:
+    """Per-event detail under the churn summary table."""
+    for task, payload in result:
+        if payload.get("unsupported"):
+            continue
+        print(f"\n{task.label()}: "
+              f"{payload['num_events']} reconfiguration events, "
+              f"min active {payload['min_active_nodes']}/{payload['num_nodes']} "
+              f"nodes, conservation "
+              f"{'ok' if payload['sent'] == payload['delivered'] else 'BROKEN'}")
+        for event in payload["events"]:
+            recovery = (
+                f"recovered in {event['recovery_cycles']} cyc"
+                if event["recovered"] and event["recovery_cycles"] is not None
+                else ("nothing to recover" if event["recovered"]
+                      else "not recovered in horizon")
+            )
+            print(f"  {event['kind']:8s} x{event['num_nodes']:<3d} "
+                  f"@t={event['t_request']:<6d} "
+                  f"drain {event['drain_cycles']:4d} cyc, "
+                  f"blocked {event['block_cycles']:4d} cyc, "
+                  f"parked {event['parked_packets']:4d}, "
+                  f"peak latency {event['peak_ratio']:.2f}x baseline, "
+                  f"{recovery}")
+
+
+def _cmd_churn(args) -> int:
+    from repro.experiments import ExperimentSpec
+
+    sim_params = {
+        "warmup": args.warmup,
+        "measure": args.measure,
+        "drain_limit": args.drain_limit,
+        "gate_fraction": args.gate_fraction,
+        "schedule": args.schedule,
+    }
+    topology_params = {}
+    if args.ports is not None:
+        topology_params["ports"] = args.ports
+    spec = ExperimentSpec(
+        name="cli-churn",
+        kind="churn",
+        designs=("SF",),
+        nodes=_split(args.nodes, int),
+        patterns=(args.pattern,),
+        rates=_split(args.rates, float),
+        seeds=_split(args.seeds, int),
+        topology_seed=args.topology_seed,
+        sim_params=sim_params,
+        topology_params=topology_params,
+    )
+    return _run_spec_command(args, spec, per_task_report=_churn_report)
 
 
 _COMMANDS = {
@@ -289,6 +395,7 @@ _COMMANDS = {
     "workload": _cmd_workload,
     "reconfigure": _cmd_reconfigure,
     "sweep": _cmd_sweep,
+    "churn": _cmd_churn,
 }
 
 

@@ -112,15 +112,26 @@ class _NodeView:
 
     def __init__(self, table: RoutingTable) -> None:
         one_hop = table.one_hop()
-        window = one_hop + table.two_hop()
+        usable_vias = {e.node for e in one_hop}
+        # A two-hop entry is only a window target while at least one of
+        # its vias is usable; with every via blocked (mid-
+        # reconfiguration) the entry must drop out of the window, or
+        # greedy selection could pick a target it cannot reach.
+        window = one_hop + [
+            e for e in table.two_hop() if e.vias & usable_vias
+        ]
+        # Width is pinned explicitly: a router may transiently have an
+        # *empty* usable window (every neighbor blocked mid-
+        # reconfiguration), and reshape(0, -1) is not defined.
+        width = len(one_hop[0].coords) if one_hop else 1
         self.nbr_ids = np.array([e.node for e in one_hop], dtype=np.int64)
         self.nbr_coords = np.array(
             [e.coords for e in one_hop], dtype=np.float64
-        ).reshape(len(one_hop), -1)
+        ).reshape(len(one_hop), width)
         self.win_ids = np.array([e.node for e in window], dtype=np.int64)
         self.win_coords = np.array(
             [e.coords for e in window], dtype=np.float64
-        ).reshape(len(window), -1)
+        ).reshape(len(window), width)
         self.win_hop = np.array([e.hop for e in window], dtype=np.int64)
         # via_mask[i, j] is True when window node j is reachable through
         # one-hop neighbor i.

@@ -77,6 +77,20 @@ class PowerManager:
     def _mark(self, now_ns: float) -> None:
         self._last_reconfig_ns = now_ns
 
+    @property
+    def last_reconfig_ns(self) -> float | None:
+        """When the most recent reconfiguration completed (ns), if any."""
+        return self._last_reconfig_ns
+
+    def note_reconfiguration(self, now_ns: float) -> None:
+        """Record an externally executed reconfiguration (live/online path).
+
+        The :class:`~repro.network.elastic.LiveReconfigurator` performs
+        the topology changes itself inside the event loop; it calls
+        this so the granularity constraint still covers those events.
+        """
+        self._mark(now_ns)
+
     # -- actions ------------------------------------------------------------------
 
     def gate_fraction(

@@ -59,6 +59,19 @@ def _row(task: ExperimentTask, payload: dict[str, Any]) -> list[str]:
             _fmt(None if unsupported else payload.get("avg_read_latency"), ".1f"),
             _fmt(None if unsupported else payload.get("runtime_cycles")),
         ]
+    if task.kind == "churn":
+        return [
+            task.design, task.nodes, task.pattern, f"{task.rate:g}", task.seed,
+            _fmt(None if unsupported else payload.get("num_events")),
+            _fmt(None if unsupported else payload.get("avg_latency"), ".1f"),
+            _fmt(None if unsupported else payload.get("max_peak_ratio")),
+            _fmt(None if unsupported else payload.get("max_recovery_cycles")),
+            _fmt(None if unsupported else payload.get("parked_total")),
+            _fmt(
+                None if unsupported
+                else (payload.get("sent") == payload.get("delivered"))
+            ),
+        ]
     return [  # path_stats
         task.design, task.nodes, task.seed,
         _fmt(None if unsupported else payload.get("mean_hops")),
@@ -74,6 +87,8 @@ _HEADERS = {
     "workload": ["workload", "design", "N", "seed",
                  "ops/kcycle", "read_lat", "runtime"],
     "path_stats": ["design", "N", "seed", "mean_hops", "p90", "max"],
+    "churn": ["design", "N", "pattern", "rate", "seed", "events",
+              "avg_lat", "peak_ratio", "recov_cyc", "parked", "conserved"],
 }
 
 

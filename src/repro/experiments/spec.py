@@ -25,6 +25,12 @@ Four task kinds cover the benchmark harness:
     :func:`repro.analysis.paths.greedy_path_stats` (sensitivity
     studies); routing options like ``use_two_hop`` ride in
     ``sim_params`` and topology options in ``topology_params``.
+``churn``
+    One :func:`repro.workloads.churn.run_churn` live-reconfiguration
+    scenario (synthetic traffic with mid-flight gate/wake events);
+    the churn schedule parameters (``gate_fraction``, ``schedule``,
+    ``period`` ...) ride in ``sim_params``.  The grid axes match the
+    ``synthetic`` kind: designs x nodes x patterns x rates x seeds.
 
 Specs round-trip through JSON (:meth:`to_json` / :meth:`from_json` /
 :meth:`from_file`) so sweeps can be versioned as files and replayed
@@ -40,7 +46,7 @@ from typing import Any, Mapping, Sequence
 
 __all__ = ["TASK_KINDS", "ExperimentSpec", "ExperimentTask", "freeze_params"]
 
-TASK_KINDS = ("synthetic", "saturation", "workload", "path_stats")
+TASK_KINDS = ("synthetic", "saturation", "workload", "path_stats", "churn")
 
 #: Bump when task semantics change so stale cache entries are ignored.
 ENGINE_VERSION = 1
@@ -189,12 +195,12 @@ class ExperimentSpec:
             )
         if self.kind == "workload" and not self.workloads:
             raise ValueError("workload specs need at least one workload")
-        if self.kind == "synthetic" and not self.rates:
-            raise ValueError("synthetic specs need at least one rate")
+        if self.kind in ("synthetic", "churn") and not self.rates:
+            raise ValueError(f"{self.kind} specs need at least one rate")
         for axis in ("designs", "nodes", "seeds"):
             if not getattr(self, axis):
                 raise ValueError(f"spec {self.name!r} has an empty {axis} axis")
-        if self.kind in ("synthetic", "saturation") and not self.patterns:
+        if self.kind in ("synthetic", "saturation", "churn") and not self.patterns:
             raise ValueError(f"spec {self.name!r} has an empty patterns axis")
         # Canonicalize design names at declaration time: typos fail
         # here (instead of masquerading as unsupported-scale points),
@@ -217,7 +223,7 @@ class ExperimentSpec:
             topology_params=topo,
         )
         out: list[ExperimentTask] = []
-        if self.kind == "synthetic":
+        if self.kind in ("synthetic", "churn"):
             for design in self.designs:
                 for n in self.nodes:
                     for pattern in self.patterns:

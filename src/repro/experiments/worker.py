@@ -19,7 +19,6 @@ from typing import Any
 from repro.experiments.memo import (
     memo_policy,
     memo_routing,
-    memo_topology,
     memo_trace,
 )
 from repro.experiments.spec import ExperimentTask
@@ -170,6 +169,85 @@ def _run_workload(task: ExperimentTask) -> dict[str, Any]:
     }
 
 
+def _run_churn(task: ExperimentTask) -> dict[str, Any]:
+    """One live-reconfiguration scenario under synthetic traffic.
+
+    Reconfiguration mutates topology and routing tables, so this runner
+    builds everything *fresh* (never through the per-process memos —
+    see the :mod:`repro.experiments.memo` reuse contract).  The run is
+    still a pure function of the task fields, so caching stays sound.
+    """
+    from repro.core.topology import StringFigureTopology
+    from repro.topologies.registry import make_topology
+    from repro.workloads.churn import ChurnSchedule, run_churn
+
+    kwargs = dict(task.topology_params)
+    ports = kwargs.pop("ports", None)
+    try:
+        topo = make_topology(
+            task.design, task.nodes, seed=task.topology_seed, ports=ports,
+            **kwargs,
+        )
+    except ValueError as exc:
+        return {"unsupported": True, "error": str(exc)}
+    if not (
+        isinstance(topo, StringFigureTopology) and topo.with_shortcuts
+    ):
+        return {
+            "unsupported": True,
+            "error": f"churn requires shortcut wires; {task.design} has none",
+        }
+
+    warmup = task.sim("warmup", 300)
+    measure = task.sim("measure", 4000)
+    fraction = task.sim("gate_fraction", 0.25)
+    kind = task.sim("schedule", "cycle")
+    schedule = None
+    controller_params = None
+    if kind == "cycle":
+        schedule = ChurnSchedule.cycle(
+            gate_at=task.sim("gate_at", warmup + measure // 4),
+            wake_at=task.sim("wake_at", warmup + measure // 2),
+            fraction=fraction,
+        )
+    elif kind == "periodic":
+        schedule = ChurnSchedule.periodic(
+            start=task.sim("start", warmup),
+            period=task.sim("period", measure // 2),
+            duty=task.sim("duty", 0.5),
+            fraction=fraction,
+            cycles=task.sim("cycles", 2),
+        )
+    elif kind == "utilization":
+        controller_params = {
+            "interval": task.sim("interval", 1000),
+            "low_util": task.sim("low_util", 0.01),
+            "high_util": task.sim("high_util", 0.05),
+            "gate_step": task.sim("gate_step", 2),
+            "min_active_fraction": task.sim("min_active_fraction", 0.5),
+        }
+    else:
+        raise ValueError(f"unknown churn schedule kind {kind!r}")
+
+    result = run_churn(
+        topo,
+        pattern=task.pattern,
+        rate=task.rate,
+        schedule=schedule,
+        controller_params=controller_params,
+        warmup=warmup,
+        measure=measure,
+        drain_limit=task.sim("drain_limit", 60_000),
+        seed=task.seed,
+        payload_bytes=task.sim("payload_bytes", 64),
+        window_cycles=task.sim("window", 200),
+        granularity_ns=task.sim("granularity_ns"),
+    )
+    payload = result.payload()
+    payload["radix"] = _radix_of(topo)
+    return payload
+
+
 def _run_path_stats(task: ExperimentTask) -> dict[str, Any]:
     from repro.analysis.paths import greedy_path_stats
     from repro.core.topology import StringFigureTopology
@@ -210,4 +288,5 @@ _RUNNERS = {
     "saturation": _run_saturation,
     "workload": _run_workload,
     "path_stats": _run_path_stats,
+    "churn": _run_churn,
 }

@@ -7,6 +7,12 @@ and escape-buffer deadlock recovery.
 """
 
 from repro.network.config import DramTiming, NetworkConfig
+from repro.network.elastic import (
+    LiveReconfigEvent,
+    LiveReconfigurator,
+    WindowedLatencyProbe,
+    disturbance_metrics,
+)
 from repro.network.packet import Packet, PacketKind
 from repro.network.policies import (
     GreedyPolicy,
@@ -21,6 +27,8 @@ __all__ = [
     "DramTiming",
     "GreedyPolicy",
     "LatencyAccumulator",
+    "LiveReconfigEvent",
+    "LiveReconfigurator",
     "MinimalPolicy",
     "NetworkConfig",
     "NetworkSimulator",
@@ -29,5 +37,7 @@ __all__ = [
     "RoutingPolicy",
     "SimStats",
     "TablePolicy",
+    "WindowedLatencyProbe",
+    "disturbance_metrics",
     "zero_load_latency",
 ]

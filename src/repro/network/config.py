@@ -15,7 +15,6 @@ multiple flits.
 from __future__ import annotations
 
 import math
-
 from dataclasses import dataclass, field
 
 __all__ = ["NetworkConfig", "DramTiming"]
@@ -80,6 +79,16 @@ class NetworkConfig:
         deadlock recovery; recoveries are counted in the run's stats).
     reserve_slots:
         Reserve buffer slots per link for deadlock recovery.
+    emergency_stall_threshold:
+        After this many *consecutive* stall timeouts in which a link
+        stayed credit-blocked with every reserve slot already loaned
+        out, the recovery may exceed the reserve bound (modeling
+        router-local elastic overflow) to break a persistent cyclic
+        stall.  ``0`` (default) disables escalation, preserving the
+        hard ``buffer_packets + reserve_slots`` bound; live
+        reconfiguration scenarios enable it because the transition
+        window can drive a saturated network into cycles the bounded
+        reserve cannot undo.
     network_pj_per_bit_hop:
         Dynamic network energy (5 pJ/bit/hop).
     dram_pj_per_bit:
@@ -111,6 +120,7 @@ class NetworkConfig:
     num_vcs: int = 2
     deadlock_timeout_cycles: int = 64
     reserve_slots: int = 4
+    emergency_stall_threshold: int = 0
     network_pj_per_bit_hop: float = 5.0
     dram_pj_per_bit: float = 12.0
     node_background_pj_per_cycle: float = 2000.0

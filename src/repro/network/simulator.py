@@ -51,7 +51,7 @@ class _OutPort:
     """
 
     __slots__ = ("queues", "active_tx", "channels", "rr", "wake_at",
-                 "stall_armed", "reserve_debt")
+                 "stall_armed", "reserve_debt", "stall_failures")
 
     def __init__(self, num_vcs: int, channels: int = 1) -> None:
         self.queues: list[deque] = [deque() for _ in range(num_vcs)]
@@ -63,6 +63,9 @@ class _OutPort:
         # Reserve (escape) slots loaned per VC during deadlock recovery;
         # repaid by that VC's next credit release.
         self.reserve_debt: list[int] = [0] * num_vcs
+        # Consecutive stall timeouts with reserves exhausted (drives the
+        # optional emergency escalation).
+        self.stall_failures = 0
 
     def occupancy(self) -> int:
         return sum(len(q) for q in self.queues)
@@ -110,6 +113,10 @@ class NetworkSimulator:
         self._link_latency_fn = link_latency
         self._link_latency_cache: dict[tuple[int, int], int] = {}
         self._on_delivery: list[Callable[[Packet, int], None]] = []
+        self._arrival_hook: (
+            Callable[[int, Packet, tuple[int, int] | None, bool], bool] | None
+        ) = None
+        self._dst_inflight: dict[int, int] = {}
         self._events_processed = 0
         self.max_events = 200_000_000
 
@@ -154,6 +161,93 @@ class NetworkSimulator:
         """Register ``callback(packet, time)`` to run at each ejection."""
         self._on_delivery.append(callback)
 
+    def set_arrival_hook(
+        self,
+        hook: Callable[[int, Packet, tuple[int, int] | None, bool], bool] | None,
+    ) -> None:
+        """Install ``hook(node, packet, from_link, first_hop) -> bool``.
+
+        The hook runs before each non-terminal arrival is forwarded.
+        Returning ``True`` means the hook took ownership of the arrival
+        (e.g. parked it during a reconfiguration window) and must later
+        hand it back via :meth:`rearrive`; the simulator then does
+        nothing further for this event.  A hook that absorbs the packet
+        into local storage should return its inbound-link credit with
+        :meth:`release_inbound`, or keep it for exact backpressure.
+        Live reconfiguration (:mod:`repro.network.elastic`) is the one
+        intended client.
+        """
+        self._arrival_hook = hook
+
+    def rearrive(
+        self,
+        node: int,
+        packet: Packet,
+        from_link: tuple[int, int] | None,
+        first_hop: bool = False,
+        delay: int = 0,
+    ) -> None:
+        """Re-enter a held or re-routed arrival into the event loop."""
+        self._push(self.now + delay, _ARRIVE, node, (packet, from_link, first_hop))
+
+    def release_inbound(self, link: tuple[int, int], vc: int) -> None:
+        """Return an inbound-link credit early (packet absorbed locally).
+
+        Live reconfiguration calls this when it parks a packet: the
+        router's local hold buffer absorbs the packet, so the credit
+        goes back upstream instead of starving the network for the
+        whole blocked window.
+        """
+        self._release_credit(link, vc)
+
+    # -- reconfiguration support -------------------------------------------
+
+    def inflight_to(self, node: int) -> int:
+        """Packets currently in the network destined to *node*."""
+        return self._dst_inflight.get(node, 0)
+
+    def take_queued(
+        self, u: int, v: int
+    ) -> list[tuple[Packet, tuple[int, int] | None]]:
+        """Remove and return all packets queued on output port ``u -> v``.
+
+        Used when a link is disabled mid-run: the caller re-routes the
+        queued packets (they have not consumed this link's credit yet,
+        so only their inbound-link credit travels with them).  Packets
+        already on the wire (``active_tx``) are not touched — their
+        arrival events complete normally, modeling the topology switch
+        waiting out the last in-flight flits.
+        """
+        port = self._ports.get((u, v))
+        if port is None:
+            return []
+        taken: list[tuple[Packet, tuple[int, int] | None]] = []
+        for queue in port.queues:
+            while queue:
+                _ready, packet, from_link = queue.popleft()
+                taken.append((packet, from_link))
+        return taken
+
+    def node_quiescent(self, node: int) -> bool:
+        """Whether *node* carries no traffic at all right now.
+
+        True when nothing is destined to it, none of its output queues
+        hold packets, no packet is mid-wire on a link into or out of
+        it, and no arrival event targets it.  Reconfiguration waits for
+        this before powering the node's links down.
+        """
+        if self.inflight_to(node):
+            return False
+        for (u, v), port in self._ports.items():
+            if u != node and v != node:
+                continue
+            if port.active_tx or port.occupancy():
+                return False
+        for _time, _seq, code, a, _b in self._heap:
+            if code == _ARRIVE and a == node:
+                return False
+        return True
+
     # -- scheduling --------------------------------------------------------------
 
     def _push(self, time: int, code: int, a, b) -> None:
@@ -175,7 +269,9 @@ class NetworkSimulator:
         t = self.now if time is None else max(time, self.now)
         packet.inject_time = t
         packet.vc = self.policy.select_vc(packet.src, packet.dst)
+        self.stats.sent += 1
         self.stats.injected += int(packet.measured)
+        self._dst_inflight[packet.dst] = self._dst_inflight.get(packet.dst, 0) + 1
         self._push(t, _ARRIVE, packet.src, (packet, None, True))
 
     # -- event processing -------------------------------------------------------------
@@ -183,6 +279,7 @@ class NetworkSimulator:
     def _deliver(self, node: int, packet: Packet, from_link) -> None:
         packet.arrive_time = self.now
         self.stats.delivered += 1
+        self._dst_inflight[packet.dst] -= 1
         if packet.measured:
             self.stats.measured_delivered += 1
             self.stats.latency.add(packet.latency)
@@ -200,6 +297,10 @@ class NetworkSimulator:
         if node == packet.dst:
             self._deliver(node, packet, from_link)
             return
+        if self._arrival_hook is not None and self._arrival_hook(
+            node, packet, from_link, first_hop
+        ):
+            return  # parked: the hook re-enters it via rearrive()
         nxt = self.policy.forward(node, packet, self.port_load, first_hop)
         port = self._port(node, nxt)
         self.stats.queue_samples += 1
@@ -279,6 +380,14 @@ class NetworkSimulator:
         blocked VC with the oldest head packet.  The loan is repaid by
         the next credit release, so downstream buffering stays within
         ``buffer_packets + reserve_slots`` per VC.
+
+        With ``config.emergency_stall_threshold`` set, a link that
+        stays fully wedged (blocked with every reserve slot loaned out)
+        for that many consecutive timeouts may loan *beyond* the
+        reserve bound — router-local elastic overflow that breaks
+        persistent cyclic stalls, such as the ones a reconfiguration
+        transient can leave behind in a saturated network.  Each
+        over-bound loan is counted in ``stats.emergency_loans``.
         """
         port = self._ports[(u, v)]
         port.stall_armed = False
@@ -291,14 +400,21 @@ class NetworkSimulator:
             if queue and queue[0][0] <= self.now and credits[vc] <= 0
         ]
         if not blocked:
+            port.stall_failures = 0
             return
         if port.total_reserve_debt() >= self.config.reserve_slots:
-            # All reserve slots loaned out already; re-arm and wait.
-            port.stall_armed = True
-            self._push(
-                self.now + self.config.deadlock_timeout_cycles, _STALL, u, v
-            )
-            return
+            port.stall_failures += 1
+            threshold = self.config.emergency_stall_threshold
+            if not threshold or port.stall_failures < threshold:
+                # All reserve slots loaned out already; re-arm and wait.
+                port.stall_armed = True
+                self._push(
+                    self.now + self.config.deadlock_timeout_cycles, _STALL, u, v
+                )
+                return
+            self.stats.emergency_loans += 1
+        else:
+            port.stall_failures = 0
         oldest_vc = min(blocked, key=lambda vc: port.queues[vc][0][0])
         credits[oldest_vc] += 1
         port.reserve_debt[oldest_vc] += 1

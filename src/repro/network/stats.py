@@ -54,9 +54,12 @@ class SimStats:
 
     Only packets flagged ``measured`` (injected inside the measurement
     window) contribute to latency/hop statistics; energy counts all
-    traffic, since power is a whole-run property.
+    traffic, since power is a whole-run property.  ``sent`` counts every
+    packet handed to the simulator (measured or not), so conservation
+    can be checked at any time: ``sent == delivered + in-flight``.
     """
 
+    sent: int = 0
     injected: int = 0
     delivered: int = 0
     measured_delivered: int = 0
@@ -66,6 +69,7 @@ class SimStats:
     fallback_hops: int = 0
     total_hops: int = 0
     deadlock_recoveries: int = 0
+    emergency_loans: int = 0
     latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
     hops: LatencyAccumulator = field(default_factory=LatencyAccumulator)
     measure_cycles: int = 0
@@ -97,6 +101,11 @@ class SimStats:
     @property
     def flit_hops_delivered(self) -> float:
         return float(self.flit_delivered)
+
+    @property
+    def in_flight(self) -> int:
+        """Packets sent but not yet delivered (conservation check)."""
+        return self.sent - self.delivered
 
     @property
     def accepted_rate(self) -> float:

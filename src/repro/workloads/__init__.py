@@ -12,6 +12,14 @@ network's boundary.
 """
 
 from repro.workloads.cache import CacheHierarchy, CacheLevel
+from repro.workloads.churn import (
+    ChurnAction,
+    ChurnInjector,
+    ChurnResult,
+    ChurnSchedule,
+    UtilizationController,
+    run_churn,
+)
 from repro.workloads.generators import WORKLOADS, make_workload
 from repro.workloads.runner import WorkloadResult, run_workload
 from repro.workloads.trace import MemoryAccess, WorkloadTrace, collect_trace
@@ -19,11 +27,17 @@ from repro.workloads.trace import MemoryAccess, WorkloadTrace, collect_trace
 __all__ = [
     "CacheHierarchy",
     "CacheLevel",
+    "ChurnAction",
+    "ChurnInjector",
+    "ChurnResult",
+    "ChurnSchedule",
     "MemoryAccess",
+    "UtilizationController",
     "WORKLOADS",
     "WorkloadResult",
     "WorkloadTrace",
     "collect_trace",
     "make_workload",
+    "run_churn",
     "run_workload",
 ]

@@ -17,7 +17,7 @@ dynamic energy split into network and DRAM parts (Figure 12b).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.energy.model import EnergyBreakdown, EnergyModel
 from repro.memory.address import AddressMapper

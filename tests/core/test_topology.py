@@ -8,7 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.topology import (
-    LinkDirection,
     LinkKind,
     S2Topology,
     StringFigureTopology,

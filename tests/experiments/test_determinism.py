@@ -43,6 +43,35 @@ def test_repeat_runs_identical_with_warm_memo():
     clear_memo()
 
 
+def test_churn_sweep_deterministic_across_workers():
+    """Live reconfiguration is still a pure function of the task.
+
+    Churn tasks build fresh topologies (never the shared memos) and
+    mutate them mid-run, so this pins the strongest engine guarantee:
+    stateful gate/wake sequences produce bit-identical payloads at any
+    worker count.
+    """
+    spec = ExperimentSpec(
+        name="determinism-churn",
+        kind="churn",
+        designs=("SF",),
+        nodes=(32, 48),
+        patterns=("uniform_random",),
+        rates=(0.08, 0.15),
+        seeds=(3,),
+        topology_seed=5,
+        sim_params={"warmup": 150, "measure": 2500, "drain_limit": 30_000,
+                    "gate_fraction": 0.2},
+    )
+    serial = ParallelRunner(workers=1).run(spec)
+    parallel = ParallelRunner(workers=4).run(spec)
+    assert [t.key() for t in serial.tasks] == [t.key() for t in parallel.tasks]
+    for task, payload in serial:
+        assert parallel.payload(task) == payload, task.label()
+        # Conservation holds at every grid point, under both modes.
+        assert payload["sent"] == payload["delivered"], task.label()
+
+
 def test_workload_replay_deterministic_across_workers():
     spec = ExperimentSpec(
         name="determinism-workload",

@@ -31,6 +31,8 @@ class TestExamples:
     def test_elastic_scaling(self):
         result = _run("elastic_scaling.py")
         assert result.returncode == 0, result.stderr
+        assert "conservation ok" in result.stdout
+        assert "peak latency" in result.stdout
         assert "75% powered" in result.stdout
         assert "after upgrade" in result.stdout
 

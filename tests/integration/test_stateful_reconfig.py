@@ -9,18 +9,43 @@ network and checks the global invariants after every step:
 * routing tables reference only active nodes;
 * port budgets are never exceeded;
 * restoring all nodes returns to the pristine link set.
+
+Two hypothesis profiles are registered: the quick ``dev`` profile
+(default) and a ``ci`` profile with more examples, longer operation
+sequences and derandomized (fixed-derivation) example generation, so
+the CI job is both more thorough and perfectly reproducible.  Select
+with ``HYPOTHESIS_PROFILE=ci``.  The profile is applied to this
+module's state machine only — never loaded globally, which would
+silently shrink the example budget of every other property test in
+the session.
 """
 
 from __future__ import annotations
 
+import os
+
 from hypothesis import settings
+from hypothesis import strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     initialize,
     invariant,
     rule,
 )
-from hypothesis import strategies as st
+
+settings.register_profile(
+    "dev", settings(max_examples=12, stateful_step_count=12, deadline=None)
+)
+settings.register_profile(
+    "ci",
+    settings(
+        max_examples=60,
+        stateful_step_count=30,
+        deadline=None,
+        derandomize=True,
+        print_blob=True,
+    ),
+)
 
 from repro.core.reconfig import ReconfigurationManager
 from repro.core.routing import GreediestRouting
@@ -101,6 +126,6 @@ class ReconfigMachine(RuleBasedStateMachine):
 
 
 TestReconfigStateMachine = ReconfigMachine.TestCase
-TestReconfigStateMachine.settings = settings(
-    max_examples=12, stateful_step_count=12, deadline=None
+TestReconfigStateMachine.settings = settings.get_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "dev")
 )

@@ -7,7 +7,7 @@ import pytest
 from repro.core.routing import AdaptiveGreediestRouting
 from repro.core.topology import StringFigureTopology
 from repro.network.config import NetworkConfig
-from repro.network.packet import Packet, PacketKind
+from repro.network.packet import Packet
 from repro.network.policies import GreedyPolicy
 from repro.network.simulator import NetworkSimulator, zero_load_latency
 from repro.traffic.injection import BernoulliInjector, run_synthetic

@@ -25,8 +25,15 @@ class TestParser:
             ["workload", "SF", "--workload", "grep"],
             ["reconfigure", "--fraction", "0.2"],
             ["sweep", "--designs", "SF,DM", "--rates", "0.1,0.2"],
+            ["churn", "--nodes", "64", "--gate-fraction", "0.25"],
         ):
             assert parser.parse_args(argv) is not None
+
+    def test_churn_defaults(self):
+        args = build_parser().parse_args(["churn"])
+        assert args.gate_fraction == 0.25
+        assert args.schedule == "cycle"
+        assert args.workers == 1
 
     def test_sweep_defaults(self):
         args = build_parser().parse_args(["sweep"])
@@ -114,6 +121,24 @@ class TestSweep:
         entry = next(iter(data.values()))
         assert entry["task"]["design"] in ("SF", "DM")
         assert entry["payload"]["measured_delivered"] > 0
+
+    def test_churn_runs_and_caches(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        args = [
+            "churn", "--nodes", "32", "--gate-fraction", "0.2",
+            "--rates", "0.1", "--warmup", "150", "--measure", "1500",
+            "--drain-limit", "20000", "--cache-dir", cache_dir,
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "peak_ratio" in out
+        assert "conservation ok" in out
+        assert "gate_off" in out and "gate_on" in out
+        # Second run: served from the cache, same report.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "1 cache hits, 0 simulated" in out
+        assert "conservation ok" in out
 
     def test_sweep_from_spec_file(self, capsys, tmp_path):
         from repro.experiments import ExperimentSpec
