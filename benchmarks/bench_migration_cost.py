@@ -1,0 +1,177 @@
+"""Migration cost — what moving the data really adds to elasticity.
+
+PR 2 measured online reconfiguration with data that teleports: the
+address map rebalances instantly and no byte crosses the network.  This
+bench prices the missing half of the paper's elasticity story: the
+victims' pages must physically move before a gate-off (and move back
+after the wake), as rate-limited background traffic competing with the
+foreground load for links, credits, and DRAM banks.
+
+Reproduced/verified claims:
+
+* **Scaling down moves real bytes** — every migrated run moves exactly
+  the gated nodes' share of the footprint (out and back in), while the
+  teleport baseline moves zero.
+* **Nothing is lost while data moves** — three conservation invariants
+  hold across every rate limit, page size, and mode: packet
+  (``sent == delivered``), foreground request
+  (``issued == completed``), and page (every page resident on exactly
+  one node or in flight).
+* **The rate limit trades makespan against disturbance** — a tighter
+  migration budget stretches the makespan; a generous one finishes
+  quickly but stalls/forwards more foreground requests into the moving
+  pages.
+* **The teleport baseline undercounts disturbance** — migrated runs
+  report the stalls, forwards and foreground-latency impact that the
+  instant remap never sees.
+
+The whole figure is one family of declarative ``migration`` sweeps
+(rate limits x page sizes, plus the teleport baseline) run through the
+parallel experiment engine with caching.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scale
+
+from repro.experiments import ExperimentSpec
+
+NODES = scale(32, 64)
+MEASURE = scale(3000, 8000)
+WARMUP = 200
+RATE = 0.08
+FOOTPRINT = scale(96, 256)
+RATE_LIMITS = (16.0, 64.0)
+PAGE_SIZES = scale((4096,), (2048, 4096))
+
+BASE = ExperimentSpec(
+    name="migration-cost",
+    kind="migration",
+    designs=("SF",),
+    nodes=(NODES,),
+    patterns=("uniform_random",),
+    rates=(RATE,),
+    seeds=(0,),
+    topology_seed=3,
+    sim_params={
+        "warmup": WARMUP,
+        "measure": MEASURE,
+        "drain_limit": scale(60_000, 120_000),
+        "gate_fraction": 0.25,
+        "footprint_pages": FOOTPRINT,
+    },
+)
+
+MIGRATE_SPECS = {
+    (rate_limit, page_bytes): BASE.with_overrides(
+        name=f"migration-cost-rl{rate_limit:g}-pb{page_bytes}",
+        sim_params={
+            "mode": "migrate",
+            "rate_limit": rate_limit,
+            "page_bytes": page_bytes,
+        },
+    )
+    for rate_limit in RATE_LIMITS
+    for page_bytes in PAGE_SIZES
+}
+
+TELEPORT_SPECS = {
+    page_bytes: BASE.with_overrides(
+        name=f"migration-teleport-pb{page_bytes}",
+        sim_params={"mode": "teleport", "page_bytes": page_bytes},
+    )
+    for page_bytes in PAGE_SIZES
+}
+
+
+def _conserved(payload: dict) -> bool:
+    return (
+        payload["sent"] == payload["delivered"]
+        and payload["fg_issued"] == payload["fg_completed"]
+        and payload["page_conservation"]
+    )
+
+
+def test_migration_cost(benchmark, record_result, experiment_runner):
+    def reproduce():
+        data: dict[str, dict] = {"migrate": {}, "teleport": {}}
+        for (rate_limit, page_bytes), spec in MIGRATE_SPECS.items():
+            sweep = experiment_runner.run(spec)
+            print(f"\n[engine] {spec.name}: {sweep.summary()}")
+            for _task, payload in sweep:
+                data["migrate"][f"rl={rate_limit:g} pb={page_bytes}"] = payload
+        for page_bytes, spec in TELEPORT_SPECS.items():
+            sweep = experiment_runner.run(spec)
+            print(f"[engine] {spec.name}: {sweep.summary()}")
+            for _task, payload in sweep:
+                data["teleport"][f"pb={page_bytes}"] = payload
+        return data
+
+    data = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+
+    rows = []
+    for mode, group in data.items():
+        for label, p in group.items():
+            rows.append(
+                [
+                    mode,
+                    label,
+                    p["pages_moved"],
+                    f"{p['bytes_moved'] / 1024:.0f}",
+                    p["migration_makespan"],
+                    p["fg_stalled"],
+                    p["fg_forwarded"],
+                    f"{p['fg_p99_overall']:.0f}",
+                    f"{p['fg_slowdown_p99']:.2f}",
+                    "yes" if _conserved(p) else "NO",
+                ]
+            )
+    print_table(
+        "Migration cost — bytes, makespan, foreground disturbance",
+        [
+            "mode",
+            "scenario",
+            "pages",
+            "KiB",
+            "makespan",
+            "stalled",
+            "fwd",
+            "fg_p99",
+            "slow_p99",
+            "conserved",
+        ],
+        rows,
+    )
+    record_result("migration_cost", data)
+
+    # Conservation: packets, foreground requests, and pages, everywhere.
+    for group in data.values():
+        for label, payload in group.items():
+            assert _conserved(payload), label
+            assert payload["migrations_done"], label
+
+    # Real data moved: the gated quarter's share, out and back in.
+    for label, payload in data["migrate"].items():
+        expected_pages = 2 * (FOOTPRINT // 4)
+        assert payload["pages_moved"] == expected_pages, label
+        assert payload["bytes_moved"] == (
+            payload["pages_moved"] * payload["page_bytes"]
+        ), label
+        assert payload["migration_makespan"] > 0, label
+
+    # The teleport baseline is free — and blind to migration stalls.
+    for label, payload in data["teleport"].items():
+        assert payload["bytes_moved"] == 0, label
+        assert payload["migration_makespan"] == 0, label
+        assert payload["fg_stalled"] == 0, label
+
+    # Rate limit trades makespan for foreground pressure.
+    for page_bytes in PAGE_SIZES:
+        slow = data["migrate"][f"rl={RATE_LIMITS[0]:g} pb={page_bytes}"]
+        fast = data["migrate"][f"rl={RATE_LIMITS[-1]:g} pb={page_bytes}"]
+        assert slow["migration_makespan"] > fast["migration_makespan"]
+
+    # Migrated elasticity reports disturbance the teleport never sees.
+    for page_bytes in PAGE_SIZES:
+        fast = data["migrate"][f"rl={RATE_LIMITS[-1]:g} pb={page_bytes}"]
+        assert fast["fg_stalled"] + fast["fg_forwarded"] > 0

@@ -16,6 +16,10 @@ Four subcommands cover the library's main entry points:
 * ``churn`` — live elasticity under load: gate/wake nodes *while
   traffic flows*, measuring per-event latency disturbance and recovery
   time; sweeps run through the same parallel engine and cache.
+* ``migrate`` — elasticity that pays for data movement: a gate-off/wake
+  cycle where the victims' pages move as real network traffic, swept
+  over migration rate limits x page sizes (plus the instant-remap
+  ``teleport`` baseline) through the same parallel engine and cache.
 """
 
 from __future__ import annotations
@@ -146,6 +150,54 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--cache-dir", default=None)
     churn.add_argument("--no-cache", action="store_true")
     churn.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also dump raw task payloads as JSON",
+    )
+
+    mig = sub.add_parser(
+        "migrate",
+        help="data migration cost of elastic scaling (parallel + cached)",
+    )
+    mig.add_argument("--nodes", default="64", help="comma-separated node counts")
+    mig.add_argument("--ports", type=int, default=None)
+    mig.add_argument(
+        "--gate-fraction", type=float, default=0.25,
+        help="fraction of active nodes to power-gate (and later wake)",
+    )
+    mig.add_argument(
+        "--rates", default="0.1", help="comma-separated foreground request rates"
+    )
+    mig.add_argument(
+        "--rate-limits", default="32,128",
+        help="comma-separated migration bandwidth budgets (bytes/cycle); "
+             "each becomes one sweep variant",
+    )
+    mig.add_argument(
+        "--page-bytes", default="4096",
+        help="comma-separated page sizes (power-of-two bytes); "
+             "each becomes one sweep variant",
+    )
+    mig.add_argument(
+        "--footprint-pages", type=int, default=128,
+        help="resident working-set size, in pages",
+    )
+    mig.add_argument(
+        "--mode", default="both", choices=("migrate", "teleport", "both"),
+        help="pay the real movement cost, use the PR-2 instant remap, "
+             "or run both and compare (default)",
+    )
+    mig.add_argument("--seeds", default="0", help="comma-separated seeds")
+    mig.add_argument("--topology-seed", type=int, default=0)
+    mig.add_argument("--warmup", type=int, default=300)
+    mig.add_argument("--measure", type=int, default=6000)
+    mig.add_argument("--drain-limit", type=int, default=80_000)
+    mig.add_argument(
+        "--workers", type=int, default=1,
+        help="process count (0 = one per CPU; results identical)",
+    )
+    mig.add_argument("--cache-dir", default=None)
+    mig.add_argument("--no-cache", action="store_true")
+    mig.add_argument(
         "--output", default=None, metavar="FILE",
         help="also dump raw task payloads as JSON",
     )
@@ -389,6 +441,87 @@ def _cmd_churn(args) -> int:
     return _run_spec_command(args, spec, per_task_report=_churn_report)
 
 
+def _cmd_migrate(args) -> int:
+    """Migration-cost sweep: rate limits x page sizes (x teleport)."""
+    from repro.experiments import ExperimentSpec, ParallelRunner, ResultCache
+    from repro.experiments.report import sweep_table, write_result_json
+
+    modes = ("migrate", "teleport") if args.mode == "both" else (args.mode,)
+    rate_limits = _split(args.rate_limits, float)
+    page_sizes = _split(args.page_bytes, int)
+    base_params = {
+        "warmup": args.warmup,
+        "measure": args.measure,
+        "drain_limit": args.drain_limit,
+        "gate_fraction": args.gate_fraction,
+        "footprint_pages": args.footprint_pages,
+    }
+    topology_params = {}
+    if args.ports is not None:
+        topology_params["ports"] = args.ports
+    specs = []
+    for mode in modes:
+        for page_bytes in page_sizes:
+            # Teleport moves zero bytes, so its rate limit is moot: one
+            # baseline variant per page size is enough.
+            limits = rate_limits if mode == "migrate" else rate_limits[:1]
+            for rate_limit in limits:
+                specs.append(ExperimentSpec(
+                    name=f"cli-migrate-{mode}-pb{page_bytes}-rl{rate_limit:g}",
+                    kind="migration",
+                    designs=("SF",),
+                    nodes=_split(args.nodes, int),
+                    patterns=("uniform_random",),
+                    rates=_split(args.rates, float),
+                    seeds=_split(args.seeds, int),
+                    topology_seed=args.topology_seed,
+                    sim_params={
+                        **base_params,
+                        "mode": mode,
+                        "page_bytes": page_bytes,
+                        "rate_limit": rate_limit,
+                    },
+                    topology_params=topology_params,
+                ))
+
+    cache = (
+        None if args.no_cache else ResultCache(_resolve_cache_dir(args.cache_dir))
+    )
+    runner = ParallelRunner(workers=args.workers, cache=cache)
+    all_payloads: dict[str, dict] = {}
+    by_mode: dict[str, list[dict]] = {}
+    for spec in specs:
+        result = runner.run(spec)
+        print(f"\n== {spec.name} [{spec.spec_hash()}]: {result.summary()}")
+        print(sweep_table(result))
+        for task, payload in result:
+            all_payloads[task.key()] = {
+                "task": task.to_dict(), "payload": payload,
+            }
+            if not payload.get("unsupported"):
+                by_mode.setdefault(payload["mode"], []).append(payload)
+    if "migrate" in by_mode and "teleport" in by_mode:
+        moved = sum(p["bytes_moved"] for p in by_mode["migrate"])
+        makespan = max(p["max_makespan"] for p in by_mode["migrate"])
+
+        def worst_p99(mode: str) -> float:
+            return max(p["fg_p99_overall"] for p in by_mode[mode])
+
+        teleport_p99 = worst_p99("teleport")
+        print(
+            f"\nmigrate vs teleport: {moved / 1024:.0f} KiB actually moved "
+            f"(teleport: 0), longest batch makespan {makespan} cycles, "
+            f"worst foreground p99 {worst_p99('migrate'):.0f} vs "
+            f"{teleport_p99:.0f} cycles"
+        )
+    if cache is not None:
+        print(f"cache: {cache.directory}")
+    if args.output:
+        path = write_result_json(args.output, all_payloads)
+        print(f"payloads: {path}")
+    return 0
+
+
 _COMMANDS = {
     "topology": _cmd_topology,
     "simulate": _cmd_simulate,
@@ -396,6 +529,7 @@ _COMMANDS = {
     "reconfigure": _cmd_reconfigure,
     "sweep": _cmd_sweep,
     "churn": _cmd_churn,
+    "migrate": _cmd_migrate,
 }
 
 

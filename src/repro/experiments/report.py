@@ -72,6 +72,28 @@ def _row(task: ExperimentTask, payload: dict[str, Any]) -> list[str]:
                 else (payload.get("sent") == payload.get("delivered"))
             ),
         ]
+    if task.kind == "migration":
+        return [
+            task.design, task.nodes, f"{task.rate:g}", task.seed,
+            _fmt(None if unsupported else payload.get("mode")),
+            _fmt(None if unsupported else payload.get("pages_moved")),
+            _fmt(
+                None if unsupported
+                else payload.get("bytes_moved", 0) / 1024, ".0f"
+            ),
+            _fmt(None if unsupported else payload.get("migration_makespan")),
+            _fmt(None if unsupported else payload.get("fg_p99_overall"), ".1f"),
+            _fmt(None if unsupported else payload.get("fg_slowdown_p99")),
+            _fmt(None if unsupported else payload.get("fg_stalled")),
+            _fmt(
+                None if unsupported
+                else (
+                    payload.get("sent") == payload.get("delivered")
+                    and payload.get("fg_issued") == payload.get("fg_completed")
+                    and bool(payload.get("page_conservation"))
+                )
+            ),
+        ]
     return [  # path_stats
         task.design, task.nodes, task.seed,
         _fmt(None if unsupported else payload.get("mean_hops")),
@@ -89,6 +111,8 @@ _HEADERS = {
     "path_stats": ["design", "N", "seed", "mean_hops", "p90", "max"],
     "churn": ["design", "N", "pattern", "rate", "seed", "events",
               "avg_lat", "peak_ratio", "recov_cyc", "parked", "conserved"],
+    "migration": ["design", "N", "rate", "seed", "mode", "pages", "KiB",
+                  "makespan", "fg_p99", "slow_p99", "stalled", "conserved"],
 }
 
 

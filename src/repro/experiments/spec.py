@@ -31,6 +31,13 @@ Four task kinds cover the benchmark harness:
     the churn schedule parameters (``gate_fraction``, ``schedule``,
     ``period`` ...) ride in ``sim_params``.  The grid axes match the
     ``synthetic`` kind: designs x nodes x patterns x rates x seeds.
+``migration``
+    One :func:`repro.workloads.migration.run_migration` gate-off/wake
+    cycle with real data migration (or the ``teleport`` baseline);
+    migration knobs (``rate_limit``, ``page_bytes``, ``mode``,
+    ``footprint_pages`` ...) ride in ``sim_params``.  Grid axes match
+    ``churn`` (the ``patterns`` axis is accepted but unused — the
+    foreground address stream is uniform over the page footprint).
 
 Specs round-trip through JSON (:meth:`to_json` / :meth:`from_json` /
 :meth:`from_file`) so sweeps can be versioned as files and replayed
@@ -46,7 +53,9 @@ from typing import Any, Mapping, Sequence
 
 __all__ = ["TASK_KINDS", "ExperimentSpec", "ExperimentTask", "freeze_params"]
 
-TASK_KINDS = ("synthetic", "saturation", "workload", "path_stats", "churn")
+TASK_KINDS = (
+    "synthetic", "saturation", "workload", "path_stats", "churn", "migration"
+)
 
 #: Bump when task semantics change so stale cache entries are ignored.
 ENGINE_VERSION = 1
@@ -195,12 +204,15 @@ class ExperimentSpec:
             )
         if self.kind == "workload" and not self.workloads:
             raise ValueError("workload specs need at least one workload")
-        if self.kind in ("synthetic", "churn") and not self.rates:
+        if self.kind in ("synthetic", "churn", "migration") and not self.rates:
             raise ValueError(f"{self.kind} specs need at least one rate")
         for axis in ("designs", "nodes", "seeds"):
             if not getattr(self, axis):
                 raise ValueError(f"spec {self.name!r} has an empty {axis} axis")
-        if self.kind in ("synthetic", "saturation", "churn") and not self.patterns:
+        if (
+            self.kind in ("synthetic", "saturation", "churn", "migration")
+            and not self.patterns
+        ):
             raise ValueError(f"spec {self.name!r} has an empty patterns axis")
         # Canonicalize design names at declaration time: typos fail
         # here (instead of masquerading as unsupported-scale points),
@@ -223,7 +235,7 @@ class ExperimentSpec:
             topology_params=topo,
         )
         out: list[ExperimentTask] = []
-        if self.kind in ("synthetic", "churn"):
+        if self.kind in ("synthetic", "churn", "migration"):
             for design in self.designs:
                 for n in self.nodes:
                     for pattern in self.patterns:

@@ -248,6 +248,58 @@ def _run_churn(task: ExperimentTask) -> dict[str, Any]:
     return payload
 
 
+def _run_migration(task: ExperimentTask) -> dict[str, Any]:
+    """One gate-off/wake cycle with real (or teleported) data movement.
+
+    Like ``churn``, the scenario mutates topology and routing tables,
+    so everything is built fresh per task; the run stays a pure
+    function of the task fields and caching stays sound.
+    """
+    from repro.core.topology import StringFigureTopology
+    from repro.topologies.registry import make_topology
+    from repro.workloads.migration import run_migration
+
+    kwargs = dict(task.topology_params)
+    ports = kwargs.pop("ports", None)
+    try:
+        topo = make_topology(
+            task.design, task.nodes, seed=task.topology_seed, ports=ports,
+            **kwargs,
+        )
+    except ValueError as exc:
+        return {"unsupported": True, "error": str(exc)}
+    if not (
+        isinstance(topo, StringFigureTopology) and topo.with_shortcuts
+    ):
+        return {
+            "unsupported": True,
+            "error": f"migration requires shortcut wires; {task.design} has none",
+        }
+
+    warmup = task.sim("warmup", 300)
+    measure = task.sim("measure", 6000)
+    result = run_migration(
+        topo,
+        rate=task.rate,
+        gate_fraction=task.sim("gate_fraction", 0.25),
+        gate_at=task.sim("gate_at"),
+        wake_at=task.sim("wake_at"),
+        footprint_pages=task.sim("footprint_pages", 128),
+        page_bytes=task.sim("page_bytes", 4096),
+        rate_limit=task.sim("rate_limit", 32.0),
+        max_inflight_pages=task.sim("max_inflight_pages", 4),
+        chunk_bytes=task.sim("chunk_bytes", 512),
+        mode=task.sim("mode", "migrate"),
+        warmup=warmup,
+        measure=measure,
+        drain_limit=task.sim("drain_limit", 80_000),
+        seed=task.seed,
+    )
+    payload = result.payload()
+    payload["radix"] = _radix_of(topo)
+    return payload
+
+
 def _run_path_stats(task: ExperimentTask) -> dict[str, Any]:
     from repro.analysis.paths import greedy_path_stats
     from repro.core.topology import StringFigureTopology
@@ -289,4 +341,5 @@ _RUNNERS = {
     "workload": _run_workload,
     "path_stats": _run_path_stats,
     "churn": _run_churn,
+    "migration": _run_migration,
 }

@@ -1,7 +1,22 @@
-"""Memory-node substrate: address interleaving, DRAM timing, node model."""
+"""Memory-node substrate: addressing, DRAM timing, nodes, migration."""
 
-from repro.memory.address import AddressMapper
+from repro.memory.address import AddressMapper, migration_delta
 from repro.memory.dram import DramModel
+from repro.memory.migration import (
+    MigrationEngine,
+    MigrationRecord,
+    PageDirectory,
+    PageState,
+)
 from repro.memory.node import MemoryNode
 
-__all__ = ["AddressMapper", "DramModel", "MemoryNode"]
+__all__ = [
+    "AddressMapper",
+    "DramModel",
+    "MemoryNode",
+    "MigrationEngine",
+    "MigrationRecord",
+    "PageDirectory",
+    "PageState",
+    "migration_delta",
+]

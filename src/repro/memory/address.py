@@ -2,17 +2,40 @@
 
 The paper distributes workload data "among the memory nodes based on
 their physical address".  We interleave the physical address space
-across the *active* nodes at a configurable granularity (default one
+across the memory nodes at a configurable granularity (default one
 4 KB page — coarse enough for row-buffer locality, fine enough to
-spread load), so down-scaling the network transparently remaps the
-address space onto the remaining nodes.
+spread load).
+
+Elasticity makes the mapping two-level.  Every page has a *home* node
+fixed by round-robin interleaving over the full node list; while the
+home is active the page lives there.  When nodes power-gate out of the
+network, only the pages homed on the departing nodes are *spilled* to
+surviving nodes, chosen by rendezvous (highest-random-weight) hashing —
+so a reconfiguration relocates exactly the data that had nowhere else
+to live, never the whole address space.  Rendezvous hashing keeps the
+spill assignment stable under further departures: gating a second batch
+moves only pages whose current owner departed, not every previously
+spilled page.  This is what makes the migration delta between two
+mapper generations (:func:`migration_delta`) proportional to the gated
+capacity, matching what moving real data through the network costs
+(:mod:`repro.memory.migration`).
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
-__all__ = ["AddressMapper"]
+__all__ = ["AddressMapper", "migration_delta"]
+
+_M64 = (1 << 64) - 1
+
+
+def _mix(x: int) -> int:
+    """SplitMix64 finalizer: deterministic, process-independent mixing."""
+    x = (x + 0x9E3779B97F4A7C15) & _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return x ^ (x >> 31)
 
 
 class AddressMapper:
@@ -21,11 +44,18 @@ class AddressMapper:
     Parameters
     ----------
     nodes:
-        Active memory-node ids, in interleave order.
+        Memory-node ids in interleave order.  These become the *home*
+        order: page ``p`` is homed on ``nodes[p % len(nodes)]``.
     node_capacity_bytes:
         Capacity per node (8 GB per the paper's working example).
     interleave_bytes:
-        Contiguous block mapped to one node before moving to the next.
+        Contiguous block (page) mapped to one node before moving to the
+        next.  This is also the migration granularity.
+    active:
+        Currently active subset of ``nodes`` (default: all).  Pages
+        homed on an inactive node spill to an active one via rendezvous
+        hashing.  Use :meth:`rebalance` to derive down/up-scaled
+        mappers rather than passing this directly.
     """
 
     def __init__(
@@ -33,6 +63,7 @@ class AddressMapper:
         nodes: Sequence[int],
         node_capacity_bytes: int = 8 << 30,
         interleave_bytes: int = 4096,
+        active: Sequence[int] | None = None,
     ) -> None:
         if not nodes:
             raise ValueError("need at least one memory node")
@@ -41,33 +72,130 @@ class AddressMapper:
                 f"interleave_bytes must be a positive power of two, got "
                 f"{interleave_bytes}"
             )
-        self.nodes = list(nodes)
+        self.home = list(nodes)
+        if len(set(self.home)) != len(self.home):
+            raise ValueError("duplicate node ids in interleave order")
+        if active is None:
+            active = self.home
+        active_set = set(active)
+        self._active = [n for n in self.home if n in active_set]
+        if not self._active:
+            raise ValueError("need at least one active memory node")
+        if len(self._active) != len(active_set):
+            missing = sorted(active_set - set(self.home))
+            raise ValueError(f"active nodes {missing} are not in the home order")
+        self._active_set = frozenset(self._active)
         self.node_capacity_bytes = node_capacity_bytes
         self.interleave_bytes = interleave_bytes
         self._shift = interleave_bytes.bit_length() - 1
+        self._spill_cache: dict[int, int] = {}
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[int]:
+        """Active memory-node ids, in interleave order."""
+        return list(self._active)
 
     @property
     def total_capacity_bytes(self) -> int:
-        """Total memory pool capacity."""
-        return self.node_capacity_bytes * len(self.nodes)
+        """Total memory pool capacity of the active nodes."""
+        return self.node_capacity_bytes * len(self._active)
 
-    def node_of(self, addr: int) -> int:
-        """Memory node serving physical address *addr*."""
+    def is_active(self, node: int) -> bool:
+        return node in self._active_set
+
+    # -- address resolution -------------------------------------------------
+
+    def page_of(self, addr: int) -> int:
+        """Page (interleave block) index containing *addr*."""
         if addr < 0:
             raise ValueError(f"negative address {addr:#x}")
-        block = addr >> self._shift
-        return self.nodes[block % len(self.nodes)]
+        return addr >> self._shift
+
+    def page_addr(self, page: int) -> int:
+        """Base physical address of page *page*."""
+        return page << self._shift
+
+    def home_of(self, addr: int) -> int:
+        """Home node of *addr* (where it lives on the full network)."""
+        return self.home[self.page_of(addr) % len(self.home)]
+
+    def node_of(self, addr: int) -> int:
+        """Active memory node serving physical address *addr*."""
+        page = self.page_of(addr)
+        node = self.home[page % len(self.home)]
+        if node in self._active_set:
+            return node
+        spill = self._spill_cache.get(page)
+        if spill is None:
+            spill = max(
+                self._active, key=lambda n, p=page: _mix(_mix(p) ^ _mix(n))
+            )
+            self._spill_cache[page] = spill
+        return spill
 
     def local_offset(self, addr: int) -> int:
-        """Byte offset of *addr* within its node's local address space."""
-        block = addr >> self._shift
-        local_block = block // len(self.nodes)
-        return (local_block << self._shift) | (addr & (self.interleave_bytes - 1))
+        """Byte offset of *addr* within its node's local address space.
+
+        Offsets are assigned against the home interleave, so they are
+        stable across reconfigurations: a page keeps one local offset
+        for life and migration never re-addresses it.  A spilled page
+        reuses its home-relative offset on the spill node (modeling the
+        spill node's migration remap table; the rare offset collision
+        only perturbs modeled row-buffer locality).
+        """
+        page = self.page_of(addr)
+        local_page = page // len(self.home)
+        return (local_page << self._shift) | (addr & (self.interleave_bytes - 1))
+
+    # -- elasticity ---------------------------------------------------------
 
     def rebalance(self, nodes: Sequence[int]) -> "AddressMapper":
-        """Mapper for a new active node set (post-reconfiguration)."""
+        """Mapper for a new active node set (post-reconfiguration).
+
+        When the new set is drawn from this mapper's home order — the
+        gate-off / gate-on cases — the result shares the home order, so
+        only pages owned by departed (or reclaimed by arrived) nodes
+        change placement.  A node set outside the home order (fresh
+        deployment onto different hardware) gets a fresh mapper with
+        full reinterleaving, as before.
+        """
+        nodes = list(nodes)
+        if set(nodes) <= set(self.home):
+            return AddressMapper(
+                self.home,
+                node_capacity_bytes=self.node_capacity_bytes,
+                interleave_bytes=self.interleave_bytes,
+                active=nodes,
+            )
         return AddressMapper(
             nodes,
             node_capacity_bytes=self.node_capacity_bytes,
             interleave_bytes=self.interleave_bytes,
         )
+
+
+def migration_delta(
+    old: AddressMapper, new: AddressMapper, pages: Iterable[int]
+) -> list[tuple[int, int, int]]:
+    """Pages that must physically move between two mapper generations.
+
+    Returns ``(page, src, dst)`` triples, sorted by page, for every
+    page in *pages* whose serving node differs between *old* and *new*.
+    Both mappers must share the interleave granularity — a migration
+    changes placement, never page geometry.
+    """
+    if old.interleave_bytes != new.interleave_bytes:
+        raise ValueError(
+            "mappers disagree on interleave granularity "
+            f"({old.interleave_bytes} vs {new.interleave_bytes})"
+        )
+    moves: list[tuple[int, int, int]] = []
+    for page in sorted(set(pages)):
+        addr = old.page_addr(page)
+        src = old.node_of(addr)
+        dst = new.node_of(addr)
+        if src != dst:
+            moves.append((page, src, dst))
+    return moves

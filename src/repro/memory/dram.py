@@ -38,6 +38,10 @@ class DramModel:
         bank = row % self.num_banks
         return bank, row
 
+    def bank_of(self, local_addr: int) -> int:
+        """Bank serving *local_addr* (for controller-side occupancy)."""
+        return self._locate(local_addr)[0]
+
     def access_cycles(self, local_addr: int) -> int:
         """Service latency (network cycles) of one access; updates state."""
         bank, row = self._locate(local_addr)

@@ -1,11 +1,14 @@
-"""Memory-node service model: DRAM behind a single-issue controller.
+"""Memory-node service model: DRAM behind a banked controller.
 
 A memory node receives request packets from the network, queues them at
 its memory controller, serves them with DRAM timing, and (for reads)
 injects a response packet back to the requester.  The controller is
-work-conserving and serves one access at a time — enough fidelity to
-make hotspot destinations a realistic bottleneck without simulating a
-full scheduler.
+work-conserving and tracks occupancy *per bank*: accesses to different
+banks proceed in parallel (bank-level parallelism), while accesses to
+the same bank serialize behind each other — enough fidelity to make
+hotspot destinations a realistic bottleneck, and to let background
+migration writes overlap foreground reads landing in other banks,
+without simulating a full scheduler.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ __all__ = ["MemoryNode"]
 
 
 class MemoryNode:
-    """DRAM + memory controller of one network node."""
+    """DRAM + banked memory controller of one network node."""
 
     def __init__(
         self,
@@ -32,8 +35,22 @@ class MemoryNode:
         self.sim = sim
         self.config = config or sim.config
         self.dram = DramModel(self.config, num_banks=num_banks)
-        self._free_at = 0
+        self._bank_free_at = [0] * num_banks
         self.served = 0
+
+    @property
+    def busy_until(self) -> int:
+        """Cycle at which the last-finishing bank goes idle."""
+        return max(self._bank_free_at)
+
+    def _serve_line(self, now: int, local_addr: int) -> int:
+        """One cache-line access through its bank; returns completion."""
+        bank = self.dram.bank_of(local_addr)
+        latency = self.dram.access_cycles(local_addr)
+        start = max(now, self._bank_free_at[bank])
+        done = start + latency
+        self._bank_free_at[bank] = done
+        return done
 
     def service(
         self, packet: Packet, now: int, local_addr: int, respond: bool = True
@@ -47,10 +64,7 @@ class MemoryNode:
         paper's trace-driven setup).  DRAM energy is tallied on the
         simulator's stats.
         """
-        latency = self.dram.access_cycles(local_addr)
-        start = max(now, self._free_at)
-        done = start + latency
-        self._free_at = done
+        done = self._serve_line(now, local_addr)
         self.served += 1
         self.sim.stats.dram_bits += 8 * self.config.cacheline_bytes
         if respond and packet.kind is PacketKind.READ_REQ:
@@ -64,4 +78,24 @@ class MemoryNode:
                 context=packet.context,
             )
             self.sim.send(response, done)
+        return done
+
+    def service_bulk(self, now: int, local_addr: int, num_bytes: int) -> int:
+        """Serve a multi-line transfer (page migration read or write).
+
+        The transfer is issued as back-to-back cache-line bursts
+        starting at ``local_addr``; lines in the same row serialize in
+        their bank while rows striped across banks overlap, so bulk
+        migration traffic and foreground accesses to *other* banks
+        proceed in parallel.  Returns the completion time of the last
+        line.
+        """
+        if num_bytes <= 0:
+            raise ValueError(f"num_bytes must be positive, got {num_bytes}")
+        line = self.config.cacheline_bytes
+        done = now
+        for offset in range(0, num_bytes, line):
+            done = max(done, self._serve_line(now, local_addr + offset))
+        self.served += 1
+        self.sim.stats.dram_bits += 8 * num_bytes
         return done

@@ -80,6 +80,9 @@ class LiveReconfigEvent:
     park_cycle_sum: int = 0
     rerouted_packets: int = 0
     offline_events: list[ReconfigEvent] = field(default_factory=list)
+    #: Data-migration cost record (a MigrationRecord) when the
+    #: reconfigurator runs with a migration engine; None otherwise.
+    migration: Any = None
 
     @property
     def drain_cycles(self) -> int:
@@ -105,6 +108,9 @@ class LiveReconfigEvent:
             "parked_packets": self.parked_packets,
             "park_cycle_sum": self.park_cycle_sum,
             "rerouted_packets": self.rerouted_packets,
+            "migration": (
+                self.migration.to_dict() if self.migration is not None else None
+            ),
         }
 
 
@@ -128,6 +134,16 @@ class LiveReconfigurator:
         reconfigurations.  Without it the module defaults from
         :mod:`repro.energy.power_gating` apply and granularity is not
         enforced.
+    migrator:
+        Optional :class:`~repro.memory.migration.MigrationEngine`.
+        When present, the data on a victim no longer teleports: a
+        power-down becomes *migrate-out -> drain -> block -> switch ->
+        unblock* (the victims' pages stream to the survivors as real
+        traffic before the drain wait begins — data traffic to a victim
+        can only cease once its pages have left, so evacuation must
+        precede quiescence), and a power-up triggers a wake-side
+        migrate-in right after unblock, repatriating pages as
+        background traffic under resumed foreground load.
     """
 
     def __init__(
@@ -140,6 +156,7 @@ class LiveReconfigurator:
         drain_poll_cycles: int = 16,
         drain_timeout_cycles: int = 500_000,
         enforce_granularity: bool = False,
+        migrator=None,
     ) -> None:
         self.sim = sim
         self.manager = manager
@@ -163,6 +180,7 @@ class LiveReconfigurator:
         self.drain_poll_cycles = drain_poll_cycles
         self.drain_timeout_cycles = drain_timeout_cycles
         self.enforce_granularity = enforce_granularity
+        self.migrator = migrator
 
         self.events: list[LiveReconfigEvent] = []
         self._queue: deque[tuple[str, tuple[int, ...]]] = deque()
@@ -257,24 +275,43 @@ class LiveReconfigurator:
         event = LiveReconfigEvent(kind=kind, nodes=nodes, t_request=now)
         self._unstable.update(nodes)
         if kind in ("gate_off", "unmount"):
-            self._await_drain(now, kind, nodes, event)
+            if self.migrator is not None:
+                # Evacuate the victims' data first: foreground requests
+                # keep flowing to a victim while its pages are still
+                # resident there, so the quiescence wait below can only
+                # succeed once migration has emptied it.
+                event.migration = self.migrator.migrate_out(
+                    nodes,
+                    on_done=lambda t: self._await_drain(t, kind, nodes, event, since=t),
+                )
+            else:
+                self._await_drain(now, kind, nodes, event)
         else:
             delay = self.wake_cycles if kind == "gate_on" else 0
             self.sim.schedule(now + delay, lambda t: self._switch_on(t, kind, nodes, event))
 
     def _await_drain(
-        self, now: int, kind: str, nodes: tuple[int, ...], event: LiveReconfigEvent
+        self,
+        now: int,
+        kind: str,
+        nodes: tuple[int, ...],
+        event: LiveReconfigEvent,
+        since: int | None = None,
     ) -> None:
         """Wait until no packet *destined* to a victim remains in flight.
 
         Transit traffic may still stream through the victims at this
         point — the block phase cuts that off, and the switch phase
-        waits for the remaining transit to clear.
+        waits for the remaining transit to clear.  ``since`` anchors the
+        timeout clock (migration may legitimately spend many cycles
+        before the drain wait even starts).
         """
+        if since is None:
+            since = event.t_request
         if all(self.sim.inflight_to(n) == 0 for n in nodes):
             self._block_phase(now, kind, nodes, event)
             return
-        if now - event.t_request > self.drain_timeout_cycles:
+        if now - since > self.drain_timeout_cycles:
             raise RuntimeError(
                 f"{kind} of {nodes} could not drain within "
                 f"{self.drain_timeout_cycles} cycles — are traffic sources "
@@ -282,7 +319,7 @@ class LiveReconfigurator:
             )
         self.sim.schedule(
             now + self.drain_poll_cycles,
-            lambda t: self._await_drain(t, kind, nodes, event),
+            lambda t: self._await_drain(t, kind, nodes, event, since),
         )
 
     def _block_phase(
@@ -415,6 +452,12 @@ class LiveReconfigurator:
         self._parked.clear()
         if self.power is not None:
             self.power.note_reconfiguration(now * self.sim.config.cycle_ns)
+        if self.migrator is not None and event.kind in ("gate_on", "mount"):
+            # Wake-side migrate-in: the node is reachable again, so its
+            # homed pages stream back as background traffic competing
+            # with the resumed foreground load (no pipeline stage waits
+            # on this — repatriation is pure background work).
+            event.migration = self.migrator.migrate_in(event.nodes)
         self.events.append(event)
         self._busy = False
         self._start_next(now)

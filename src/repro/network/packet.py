@@ -30,6 +30,8 @@ class PacketKind(str, Enum):
     READ_RESP = "read_resp"
     WRITE_REQ = "write_req"
     WRITE_ACK = "write_ack"
+    MIG_READ = "mig_read"  # migration pull request (new owner -> old owner)
+    MIG_DATA = "mig_data"  # migrated page chunk (old owner -> new owner)
 
 
 @dataclass

@@ -5,7 +5,16 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-__all__ = ["LatencyAccumulator", "SimStats"]
+__all__ = ["LatencyAccumulator", "SimStats", "percentile"]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """q-th percentile (0..100) by nearest-rank over *samples*."""
+    if not samples:
+        return 0.0
+    data = sorted(samples)
+    idx = min(len(data) - 1, max(0, round(q / 100.0 * (len(data) - 1))))
+    return float(data[idx])
 
 
 @dataclass
@@ -41,11 +50,7 @@ class LatencyAccumulator:
 
     def percentile(self, q: float) -> float:
         """q-th percentile (0..100) of recorded samples."""
-        if not self.samples:
-            return 0.0
-        data = sorted(self.samples)
-        idx = min(len(data) - 1, max(0, round(q / 100.0 * (len(data) - 1))))
-        return data[idx]
+        return percentile(self.samples, q)
 
 
 @dataclass

@@ -21,6 +21,11 @@ from repro.workloads.churn import (
     run_churn,
 )
 from repro.workloads.generators import WORKLOADS, make_workload
+from repro.workloads.migration import (
+    ForegroundMemoryTraffic,
+    MigrationRunResult,
+    run_migration,
+)
 from repro.workloads.runner import WorkloadResult, run_workload
 from repro.workloads.trace import MemoryAccess, WorkloadTrace, collect_trace
 
@@ -31,7 +36,9 @@ __all__ = [
     "ChurnInjector",
     "ChurnResult",
     "ChurnSchedule",
+    "ForegroundMemoryTraffic",
     "MemoryAccess",
+    "MigrationRunResult",
     "UtilizationController",
     "WORKLOADS",
     "WorkloadResult",
@@ -39,5 +46,6 @@ __all__ = [
     "collect_trace",
     "make_workload",
     "run_churn",
+    "run_migration",
     "run_workload",
 ]

@@ -1,0 +1,483 @@
+"""Migration scenarios: elastic scaling that pays for data movement.
+
+A *migration scenario* runs address-driven foreground memory traffic on
+a String Figure network while a gate-off/wake cycle executes through
+the online reconfiguration pipeline — with the victims' pages moving as
+real network traffic (:mod:`repro.memory.migration`) instead of the
+instant remap of plain churn scenarios.  The foreground load is what
+makes the cost measurable: every request resolves its destination
+through the page directory, so requests race the pages they target —
+some are served before the page moves, some are forwarded after it
+left, some stall at the destination waiting for it to land.
+
+Foreground traffic is read-only (migration of a page concurrently
+written by third parties needs a coherence protocol the paper does not
+model); each request is a ``READ_REQ`` to the page's current location,
+serviced by that node's banked DRAM controller, answered with a
+``READ_RESP`` carrying one cache line.  Request latency is recorded
+request-by-request and split into *baseline / during / after* phases
+around the reconfiguration disturbance, which is what
+``bench_migration_cost.py`` compares against the ``teleport`` baseline.
+
+:func:`run_migration` assembles the whole stack and returns a
+:class:`MigrationRunResult` whose :meth:`~MigrationRunResult.payload`
+is flat and JSON-safe — the experiment engine's ``migration`` task kind
+wraps it, making migration sweeps parallel and cacheable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.reconfig import ReconfigurationManager
+from repro.core.routing import AdaptiveGreediestRouting
+from repro.core.topology import StringFigureTopology
+from repro.energy.power_gating import PowerManager
+from repro.memory.address import AddressMapper
+from repro.memory.migration import MigrationEngine, MigrationRecord, PageDirectory
+from repro.memory.node import MemoryNode
+from repro.network.config import NetworkConfig
+from repro.network.elastic import (
+    DEFAULT_REVALIDATE_CYCLES,
+    LiveReconfigEvent,
+    LiveReconfigurator,
+)
+from repro.network.packet import Packet, PacketKind
+from repro.network.policies import GreedyPolicy
+from repro.network.simulator import NetworkSimulator
+from repro.network.stats import SimStats, percentile
+from repro.utils.rng import derive_rng
+
+__all__ = ["ForegroundMemoryTraffic", "MigrationRunResult", "run_migration"]
+
+#: Foreground read requests carry address + tag (16 B header).
+_REQUEST_BYTES = 16
+
+
+class ForegroundMemoryTraffic:
+    """Per-node Bernoulli read-request load over the page footprint.
+
+    Every active node issues reads to uniformly drawn pages; the
+    destination comes from the page directory at issue time, so the
+    load follows the data as it migrates.  Request completions are
+    recorded as ``(issue, latency)`` pairs for post-hoc phase analysis.
+
+    Requests racing a migration are handled by the directory's arrival
+    ruling: *serve* (page is here), *forward* (page left — one more
+    network trip to its current location), or *stall* (page is inbound
+    here — wait for it to land, then serve).  No request is ever
+    dropped; ``issued == completed`` after drain is the scenario's
+    conservation invariant alongside ``sent == delivered``.
+    """
+
+    def __init__(
+        self,
+        sim: NetworkSimulator,
+        directory: PageDirectory,
+        mapper: AddressMapper,
+        memory_node,
+        rate: float,
+        footprint_pages: int,
+        warmup: int = 300,
+        measure: int = 4000,
+        seed: int | None = 0,
+        sources: list[int] | None = None,
+        reconfig: LiveReconfigurator | None = None,
+    ) -> None:
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        self.sim = sim
+        self.reconfig = reconfig
+        self.directory = directory
+        self.mapper = mapper  # local offsets are home-based: any generation works
+        self.memory_node = memory_node
+        self.rate = rate
+        self.footprint_pages = footprint_pages
+        self.page_bytes = mapper.interleave_bytes
+        self.warmup = warmup
+        self.measure = measure
+        self.seed = seed
+        self.sources = (
+            list(sim.topology.active_nodes) if sources is None else list(sources)
+        )
+        self._line = sim.config.cacheline_bytes
+        self._req_flits = sim.config.packet_flits(_REQUEST_BYTES)
+        self._stop = warmup + measure
+        self.issued = 0
+        self.completed = 0
+        self.skipped_sources = 0
+        self.local_ops = 0
+        self.forwarded_requests = 0
+        self.stalled_requests = 0
+        self.stall_cycle_sum = 0
+        #: (issue_time, latency) of every completed non-local request.
+        self.samples: list[tuple[int, int]] = []
+        sim.on_delivery(self._on_delivery)
+
+    # -- injection ----------------------------------------------------------
+
+    def start(self) -> None:
+        for node in self.sources:
+            rng = derive_rng(self.seed, "mig-fg", node)
+            self._schedule_next(node, rng, 0)
+
+    def _schedule_next(self, node: int, rng, now: int) -> None:
+        u = rng.random()
+        if self.rate >= 1.0:
+            gap = 1
+        else:
+            gap = max(1, math.ceil(math.log(1.0 - u) / math.log(1.0 - self.rate)))
+        t = now + gap
+        if t >= self._stop:
+            return
+
+        def fire(current_time: int, node=node, rng=rng) -> None:
+            self._issue(node, rng, current_time)
+            self._schedule_next(node, rng, current_time)
+
+        self.sim.schedule(t, fire)
+
+    def _issue(self, node: int, rng, now: int) -> None:
+        if self.reconfig is not None and not self.reconfig.usable(node):
+            # The node is gated (or draining/revalidating): its cores
+            # are asleep too, so it skips this injection slot.
+            self.skipped_sources += 1
+            return
+        page = rng.randrange(self.footprint_pages)
+        offset = rng.randrange(self.page_bytes // self._line) * self._line
+        addr = page * self.page_bytes + offset
+        dst = self.directory.resolve(page)
+        self.issued += 1
+        if dst == node:
+            # Local page: DRAM service only, no network trip.  If the
+            # page is inbound (this node is an in-flight destination),
+            # the local access stalls for the landing like any other.
+            ruling, _target = self.directory.arrival_ruling(node, page)
+            if ruling == "stall":
+                self.stalled_requests += 1
+                self.directory.when_landed(
+                    page,
+                    lambda t, n=node, a=addr, i=now: self._serve_local(n, a, i, t),
+                )
+            else:
+                self._serve_local(node, addr, now, now)
+            return
+        self._send_request(node, dst, page, addr, now, now)
+
+    def _serve_local(self, node: int, addr: int, issued: int, now: int) -> None:
+        done = self.memory_node(node).service_bulk(
+            now, self.mapper.local_offset(addr), self._line
+        )
+        self.local_ops += 1
+        self.completed += 1
+        self.stall_cycle_sum += now - issued
+        self.samples.append((issued, done - issued))
+
+    def _send_request(
+        self, src: int, dst: int, page: int, addr: int, issued: int, now: int
+    ) -> None:
+        packet = Packet(
+            src=src,
+            dst=dst,
+            size_flits=self._req_flits,
+            payload_bytes=_REQUEST_BYTES,
+            kind=PacketKind.READ_REQ,
+            measured=False,
+            context=("fg", src, page, addr, issued),
+        )
+        self.sim.send(packet, now)
+
+    # -- delivery -----------------------------------------------------------
+
+    def _on_delivery(self, packet: Packet, now: int) -> None:
+        context = packet.context
+        if not (isinstance(context, tuple) and context and context[0] == "fg"):
+            return
+        _tag, origin, page, addr, issued = context
+        if packet.kind is PacketKind.READ_RESP:
+            self.completed += 1
+            self.samples.append((issued, now - issued))
+            return
+        if packet.kind is not PacketKind.READ_REQ:
+            return
+        node = packet.dst
+        ruling, target = self.directory.arrival_ruling(node, page)
+        if ruling == "serve":
+            self._serve(node, origin, page, addr, issued, now)
+        elif ruling == "stall":
+            self.stalled_requests += 1
+            arrived = now
+
+            def landed(t: int, n=node, o=origin, p=page, a=addr, i=issued) -> None:
+                self.stall_cycle_sum += t - arrived
+                self._serve(n, o, p, a, i, t)
+
+            self.directory.when_landed(page, landed)
+        else:  # forward: the page moved on — chase it
+            self.forwarded_requests += 1
+            self._send_request(node, target, page, addr, issued, now)
+
+    def _serve(
+        self, node: int, origin: int, page: int, addr: int, issued: int, now: int
+    ) -> None:
+        done = self.memory_node(node).service_bulk(
+            now, self.mapper.local_offset(addr), self._line
+        )
+        if origin == node:
+            # A forwarded request can come home (page moved back while
+            # the request chased it): complete locally, no response.
+            self.completed += 1
+            self.samples.append((issued, done - issued))
+            return
+        response = Packet(
+            src=node,
+            dst=origin,
+            size_flits=self.sim.config.packet_flits(self._line),
+            payload_bytes=self._line,
+            kind=PacketKind.READ_RESP,
+            measured=False,
+            context=("fg", origin, page, addr, issued),
+        )
+        self.sim.send(response, done)
+
+    # -- analysis -----------------------------------------------------------
+
+    def phase_stats(
+        self, disturb_start: int, disturb_end: int
+    ) -> dict[str, Any]:
+        """p50/p99 foreground latency before/during/after the window."""
+        phases: dict[str, list[int]] = {"baseline": [], "during": [], "after": []}
+        for issued, latency in self.samples:
+            if issued < self.warmup:
+                continue
+            if issued < disturb_start:
+                phases["baseline"].append(latency)
+            elif issued < disturb_end:
+                phases["during"].append(latency)
+            else:
+                phases["after"].append(latency)
+        out: dict[str, Any] = {}
+        overall = [lat for issued, lat in self.samples if issued >= self.warmup]
+        out["fg_requests"] = len(overall)
+        out["fg_p50_overall"] = percentile(overall, 50)
+        out["fg_p99_overall"] = percentile(overall, 99)
+        out["fg_mean_overall"] = (
+            sum(overall) / len(overall) if overall else 0.0
+        )
+        for name, samples in phases.items():
+            out[f"fg_{name}_requests"] = len(samples)
+            out[f"fg_p50_{name}"] = percentile(samples, 50)
+            out[f"fg_p99_{name}"] = percentile(samples, 99)
+        base_p50 = out["fg_p50_baseline"]
+        base_p99 = out["fg_p99_baseline"]
+        out["fg_slowdown_p50"] = (
+            out["fg_p50_during"] / base_p50 if base_p50 else 0.0
+        )
+        out["fg_slowdown_p99"] = (
+            out["fg_p99_during"] / base_p99 if base_p99 else 0.0
+        )
+        return out
+
+
+@dataclass
+class MigrationRunResult:
+    """Everything one migration scenario produced."""
+
+    stats: SimStats
+    events: list[LiveReconfigEvent]
+    records: list[MigrationRecord]
+    foreground: ForegroundMemoryTraffic
+    directory: PageDirectory
+    mode: str
+    num_nodes: int
+    footprint_pages: int
+    page_bytes: int
+    disturb_start: int = 0
+    disturb_end: int = 0
+    phase: dict[str, Any] = field(default_factory=dict)
+
+    def payload(self) -> dict[str, Any]:
+        """Flat JSON-safe metrics (experiment-engine task payload)."""
+        stats = self.stats
+        fg = self.foreground
+        return {
+            "mode": self.mode,
+            "sent": stats.sent,
+            "delivered": stats.delivered,
+            "in_flight": stats.in_flight,
+            "num_nodes": self.num_nodes,
+            "footprint_pages": self.footprint_pages,
+            "page_bytes": self.page_bytes,
+            "fg_issued": fg.issued,
+            "fg_completed": fg.completed,
+            "fg_skipped_sources": fg.skipped_sources,
+            "fg_local_ops": fg.local_ops,
+            "fg_forwarded": fg.forwarded_requests,
+            "fg_stalled": fg.stalled_requests,
+            "pages_moved": sum(r.pages_moved for r in self.records),
+            "bytes_moved": sum(r.bytes_moved for r in self.records),
+            "chunks_sent": sum(r.chunks_sent for r in self.records),
+            "migration_makespan": sum(r.makespan_cycles for r in self.records),
+            "max_makespan": max(
+                (r.makespan_cycles for r in self.records), default=0
+            ),
+            "migrations_done": all(r.done for r in self.records),
+            "num_events": len(self.events),
+            "disturb_start": self.disturb_start,
+            "disturb_end": self.disturb_end,
+            "records": [r.to_dict() for r in self.records],
+            "events": [e.to_dict() for e in self.events],
+            "page_conservation": self.directory.check_conservation(),
+            "deadlock_recoveries": stats.deadlock_recoveries,
+            "emergency_loans": stats.emergency_loans,
+            **self.phase,
+        }
+
+
+def run_migration(
+    topology: StringFigureTopology,
+    rate: float = 0.1,
+    gate_fraction: float = 0.25,
+    gate_at: int | None = None,
+    wake_at: int | None = None,
+    footprint_pages: int = 128,
+    page_bytes: int = 4096,
+    rate_limit: float = 32.0,
+    max_inflight_pages: int = 4,
+    chunk_bytes: int = 512,
+    mode: str = "migrate",
+    config: NetworkConfig | None = None,
+    warmup: int = 300,
+    measure: int = 6000,
+    drain_limit: int = 80_000,
+    seed: int | None = 0,
+    revalidate_cycles: int = DEFAULT_REVALIDATE_CYCLES,
+) -> MigrationRunResult:
+    """One gate-off/wake cycle with real data migration, start to drain.
+
+    Reconfiguration mutates the topology and routing tables, so callers
+    must pass a *fresh* topology (never a memoized instance).  With
+    ``mode="teleport"`` the identical scenario runs with the PR-2
+    instant remap — the baseline the migration numbers are measured
+    against.  Injection stops at ``warmup + measure``; the run then
+    drains fully so both conservation invariants (``sent == delivered``
+    and ``issued == completed``) are checkable at the end.
+    """
+    if config is None:
+        config = NetworkConfig(emergency_stall_threshold=16)
+    if page_bytes < config.cacheline_bytes:
+        raise ValueError(
+            f"page_bytes ({page_bytes}) must be at least one cache line "
+            f"({config.cacheline_bytes})"
+        )
+    if footprint_pages < 1:
+        raise ValueError(f"footprint_pages must be >= 1, got {footprint_pages}")
+    if gate_at is None:
+        gate_at = warmup + measure // 4
+    if wake_at is None:
+        wake_at = warmup + measure // 2
+    if not gate_at < wake_at:
+        raise ValueError(f"gate_at ({gate_at}) must precede wake_at ({wake_at})")
+
+    routing = AdaptiveGreediestRouting(topology)
+    policy = GreedyPolicy(routing)
+    sim = NetworkSimulator(topology, policy, config)
+    manager = ReconfigurationManager(topology, routing)
+    power = PowerManager(manager, config=sim.config)
+
+    active = list(topology.active_nodes)
+    mapper = AddressMapper(active, interleave_bytes=page_bytes)
+    directory = PageDirectory()
+    directory.populate(mapper, footprint_pages)
+    memory_nodes: dict[int, MemoryNode] = {}
+
+    def memory_node(node_id: int) -> MemoryNode:
+        node = memory_nodes.get(node_id)
+        if node is None:
+            node = MemoryNode(node_id, sim, config)
+            memory_nodes[node_id] = node
+        return node
+
+    engine = MigrationEngine(
+        sim,
+        mapper,
+        directory,
+        memory_node,
+        rate_limit_bytes_per_cycle=rate_limit,
+        max_inflight_pages=max_inflight_pages,
+        chunk_bytes=chunk_bytes,
+        mode=mode,
+    )
+    live = LiveReconfigurator(
+        sim,
+        manager,
+        policy,
+        power=power,
+        revalidate_cycles=revalidate_cycles,
+        migrator=engine,
+    )
+    foreground = ForegroundMemoryTraffic(
+        sim,
+        directory,
+        mapper,
+        memory_node,
+        rate,
+        footprint_pages,
+        warmup=warmup,
+        measure=measure,
+        seed=seed,
+        reconfig=live,
+    )
+    foreground.start()
+
+    gated: list[int] = []
+
+    def do_gate(now: int) -> None:
+        victims = live.select_victims(fraction=gate_fraction)
+        if victims:
+            gated.extend(victims)
+            live.gate_off(victims)
+
+    def do_wake(now: int) -> None:
+        if gated:
+            live.gate_on(list(gated))
+
+    sim.schedule(gate_at, do_gate)
+    sim.schedule(wake_at, do_wake)
+
+    sim.run(until=warmup + measure)
+    sim.run(until=warmup + measure + drain_limit)
+    if sim.pending_events:
+        # Slow rate limits can push the wake-side migrate-in past the
+        # drain budget; finish it so conservation is checkable.  The
+        # foreground has stopped injecting, so the heap must empty.
+        sim.drain()
+    sim.stats.measure_cycles = measure
+
+    # Disturbance window: from the first reconfiguration request to the
+    # last cycle any part of the pipeline (including migration) ran.
+    starts = [e.t_request for e in live.events]
+    ends = [e.t_unblocked for e in live.events]
+    for record in engine.records:
+        starts.append(record.t_start)
+        if record.t_end is not None:
+            ends.append(record.t_end)
+    disturb_start = min(starts, default=gate_at)
+    disturb_end = max(ends, default=wake_at)
+    result = MigrationRunResult(
+        stats=sim.stats,
+        events=live.events,
+        records=engine.records,
+        foreground=foreground,
+        directory=directory,
+        mode=mode,
+        num_nodes=topology.num_nodes,
+        footprint_pages=footprint_pages,
+        page_bytes=page_bytes,
+        disturb_start=disturb_start,
+        disturb_end=disturb_end,
+    )
+    result.phase = foreground.phase_stats(disturb_start, disturb_end)
+    return result

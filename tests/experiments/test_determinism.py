@@ -87,3 +87,35 @@ def test_workload_replay_deterministic_across_workers():
     parallel = ParallelRunner(workers=4).run(spec)
     for task, payload in serial:
         assert parallel.payload(task) == payload, task.label()
+
+
+def test_migration_sweep_deterministic_across_workers():
+    """Data migration is still a pure function of the task.
+
+    Migration tasks thread page moves through the event loop as real
+    traffic racing the foreground load, so this pins that the whole
+    engine (delta computation, rate-limited issue, stall/forward
+    rulings) is deterministic at any worker count — and that both
+    conservation invariants hold at every grid point.
+    """
+    spec = ExperimentSpec(
+        name="determinism-migration",
+        kind="migration",
+        designs=("SF",),
+        nodes=(32,),
+        patterns=("uniform_random",),
+        rates=(0.06, 0.1),
+        seeds=(3,),
+        topology_seed=5,
+        sim_params={"warmup": 150, "measure": 2000, "drain_limit": 30_000,
+                    "gate_fraction": 0.25, "footprint_pages": 64,
+                    "rate_limit": 64.0},
+    )
+    serial = ParallelRunner(workers=1).run(spec)
+    parallel = ParallelRunner(workers=4).run(spec)
+    assert [t.key() for t in serial.tasks] == [t.key() for t in parallel.tasks]
+    for task, payload in serial:
+        assert parallel.payload(task) == payload, task.label()
+        assert payload["sent"] == payload["delivered"], task.label()
+        assert payload["fg_issued"] == payload["fg_completed"], task.label()
+        assert payload["page_conservation"], task.label()

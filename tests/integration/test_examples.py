@@ -33,6 +33,8 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "conservation ok" in result.stdout
         assert "peak latency" in result.stdout
+        assert "KiB moved" in result.stdout
+        assert "migrated out of" in result.stdout
         assert "75% powered" in result.stdout
         assert "after upgrade" in result.stdout
 

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.memory.address import AddressMapper
+from repro.memory.address import AddressMapper, migration_delta
 
 
 class TestMapping:
@@ -85,3 +85,122 @@ class TestRebalance:
 def test_property_node_always_valid(addr, nodes):
     mapper = AddressMapper(nodes)
     assert mapper.node_of(addr) in nodes
+
+
+PAGES = range(512)
+
+
+def _brute_force_diff(old: AddressMapper, new: AddressMapper):
+    """Independent reference for the migration delta."""
+    moves = []
+    for page in PAGES:
+        addr = page * old.interleave_bytes
+        src, dst = old.node_of(addr), new.node_of(addr)
+        if src != dst:
+            moves.append((page, src, dst))
+    return moves
+
+
+class TestMinimalMovement:
+    """Down/up-scaling relocates only the data that had to move."""
+
+    def test_gate_off_moves_only_victim_pages(self):
+        full = AddressMapper(list(range(8)))
+        victims = {2, 5}
+        gated = full.rebalance([n for n in full.nodes if n not in victims])
+        for page in PAGES:
+            addr = full.page_addr(page)
+            before, after = full.node_of(addr), gated.node_of(addr)
+            if before in victims:
+                assert after not in victims
+            else:
+                assert after == before  # survivors' data never moves
+
+    def test_second_batch_moves_only_departed_owners(self):
+        """Rendezvous spill is stable under further departures."""
+        full = AddressMapper(list(range(12)))
+        gen1 = full.rebalance([n for n in range(12) if n not in (3, 7)])
+        second = {1, 9}
+        gen2 = gen1.rebalance([n for n in gen1.nodes if n not in second])
+        for page, src, _dst in _brute_force_diff(gen1, gen2):
+            # Everything that moved was owned by a departing node —
+            # previously spilled pages on surviving nodes stay put.
+            assert src in second, f"page {page} moved off surviving node {src}"
+
+    def test_gate_on_reclaims_only_homed_pages(self):
+        full = AddressMapper(list(range(8)))
+        victims = (2, 5)
+        gated = full.rebalance([n for n in range(8) if n not in victims])
+        restored = gated.rebalance(list(range(8)))
+        for page, _src, dst in _brute_force_diff(gated, restored):
+            assert full.home_of(restored.page_addr(page)) == dst
+            assert dst in victims
+
+    def test_round_trip_restores_original_mapping(self):
+        full = AddressMapper(list(range(9)))
+        gated = full.rebalance([n for n in range(9) if n % 3 != 0])
+        restored = gated.rebalance(list(range(9)))
+        for page in PAGES:
+            addr = full.page_addr(page)
+            assert restored.node_of(addr) == full.node_of(addr)
+            assert restored.local_offset(addr) == full.local_offset(addr)
+
+    def test_local_offsets_stable_across_generations(self):
+        full = AddressMapper(list(range(8)))
+        gated = full.rebalance([0, 1, 2, 3, 4, 6])
+        for page in PAGES:
+            addr = full.page_addr(page) + 128
+            assert gated.local_offset(addr) == full.local_offset(addr)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=24),
+        data=st.data(),
+        addr=st.integers(min_value=0, max_value=2**40),
+    )
+    def test_every_address_maps_to_exactly_one_active_node(self, n, data, addr):
+        full = AddressMapper(list(range(n)))
+        active = data.draw(
+            st.lists(
+                st.sampled_from(range(n)), min_size=1, max_size=n, unique=True
+            )
+        )
+        mapper = full.rebalance(active)
+        owner = mapper.node_of(addr)
+        assert owner in set(active)
+        # Deterministic: resolving twice gives the same single owner.
+        assert mapper.node_of(addr) == owner
+
+
+class TestMigrationDelta:
+    def test_delta_matches_brute_force_diff(self):
+        full = AddressMapper(list(range(10)))
+        gated = full.rebalance([n for n in range(10) if n not in (1, 4, 8)])
+        assert migration_delta(full, gated, PAGES) == _brute_force_diff(full, gated)
+
+    def test_delta_scales_with_gated_fraction(self):
+        full = AddressMapper(list(range(16)))
+        one = full.rebalance([n for n in range(16) if n != 0])
+        four = full.rebalance(list(range(4, 16)))
+        moves_one = migration_delta(full, one, PAGES)
+        moves_four = migration_delta(full, four, PAGES)
+        # Interleaving puts 1/16th of pages on each node.
+        assert len(moves_one) == len(PAGES) // 16
+        assert len(moves_four) == 4 * len(PAGES) // 16
+
+    def test_delta_empty_for_identical_mappers(self):
+        full = AddressMapper(list(range(6)))
+        assert migration_delta(full, full.rebalance(full.nodes), PAGES) == []
+
+    def test_delta_rejects_mismatched_interleave(self):
+        a = AddressMapper([0, 1], interleave_bytes=4096)
+        b = AddressMapper([0, 1], interleave_bytes=8192)
+        with pytest.raises(ValueError):
+            migration_delta(a, b, PAGES)
+
+    def test_delta_sorted_and_deduplicated(self):
+        full = AddressMapper(list(range(5)))
+        gated = full.rebalance([0, 1, 2, 3])
+        moves = migration_delta(full, gated, [9, 4, 9, 14, 4])
+        assert moves == sorted(moves)
+        assert len(moves) == len({page for page, _s, _d in moves})

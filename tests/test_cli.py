@@ -26,8 +26,15 @@ class TestParser:
             ["reconfigure", "--fraction", "0.2"],
             ["sweep", "--designs", "SF,DM", "--rates", "0.1,0.2"],
             ["churn", "--nodes", "64", "--gate-fraction", "0.25"],
+            ["migrate", "--nodes", "64", "--gate-fraction", "0.25"],
         ):
             assert parser.parse_args(argv) is not None
+
+    def test_migrate_defaults(self):
+        args = build_parser().parse_args(["migrate"])
+        assert args.gate_fraction == 0.25
+        assert args.mode == "both"
+        assert args.workers == 1
 
     def test_churn_defaults(self):
         args = build_parser().parse_args(["churn"])
@@ -139,6 +146,38 @@ class TestSweep:
         out = capsys.readouterr().out
         assert "1 cache hits, 0 simulated" in out
         assert "conservation ok" in out
+
+    def test_migrate_runs_and_caches(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        args = [
+            "migrate", "--nodes", "32", "--gate-fraction", "0.25",
+            "--rates", "0.08", "--rate-limits", "64",
+            "--footprint-pages", "64", "--warmup", "150",
+            "--measure", "2000", "--drain-limit", "30000",
+            "--cache-dir", cache_dir,
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "migrate vs teleport" in out
+        assert "KiB actually moved (teleport: 0)" in out
+        # Second run: both mode variants served from the cache.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert out.count("1 cache hits, 0 simulated") == 2
+
+    def test_migrate_single_mode_skips_comparison(self, capsys, tmp_path):
+        args = [
+            "migrate", "--nodes", "32", "--mode", "teleport",
+            "--rates", "0.08", "--footprint-pages", "64",
+            "--warmup", "150", "--measure", "1500",
+            "--drain-limit", "20000",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "teleport" in out
+        assert "migrate vs teleport" not in out
 
     def test_sweep_from_spec_file(self, capsys, tmp_path):
         from repro.experiments import ExperimentSpec
