@@ -1,0 +1,183 @@
+"""Simulator-throughput trajectory: events/sec across designs x scales.
+
+Measures the event-loop throughput (events processed per wall-clock
+second) and wall time of synthetic uniform-random runs on mesh (DM),
+Jellyfish and String Figure at 64 -> 1296 nodes, through the ``perf``
+experiment kind of the parallel engine, and appends the results as one
+labeled run to ``benchmarks/results/sim_throughput.json`` — the repo's
+tracked performance trajectory.  Each new run is compared point-by-point
+against the previous recorded run of the same scale, so a simulator
+change that regresses the hot path is visible immediately.
+
+Usage::
+
+    python benchmarks/bench_sim_throughput.py            # full, 64->1296
+    python benchmarks/bench_sim_throughput.py --quick    # CI smoke scale
+
+Methodology: per grid point the topology/policy are built outside the
+timed region, the identical simulation runs ``--repeats`` times sharing
+one policy (so decision caches warm up exactly like a long sweep), and
+the best repetition is reported.  Runs always execute with the result
+cache disabled — wall-clock numbers must never be served from cache —
+and serially (``workers=1``), because concurrently timed points steal
+each other's cycles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+DEFAULT_OUT = RESULTS_DIR / "sim_throughput.json"
+QUICK_OUT = RESULTS_DIR / "sim_throughput_quick.json"
+
+DESIGNS = ("SF", "DM", "Jellyfish")
+FULL_NODES = (64, 144, 324, 576, 1296)
+QUICK_NODES = (64, 144)
+
+CONFIG = {
+    "pattern": "uniform_random",
+    "rate": 0.05,
+    "warmup": 100,
+    "measure": 300,
+    "drain_limit": 20_000,
+    "seed": 0,
+    "sample_free": True,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"small scales only {QUICK_NODES} (CI smoke)",
+    )
+    parser.add_argument(
+        "--designs", default=",".join(DESIGNS),
+        help="comma-separated topology names",
+    )
+    parser.add_argument(
+        "--nodes", default=None,
+        help="comma-separated node counts (overrides --quick/full grid)",
+    )
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timing repetitions per point (best wins)")
+    parser.add_argument("--label", default=None,
+                        help="run label in the trajectory (default: scale)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="trajectory JSON (default: sim_throughput.json, "
+                             "or sim_throughput_quick.json with --quick)")
+    return parser
+
+
+def measure(designs, nodes, repeats):
+    from repro.experiments import ExperimentSpec, ParallelRunner
+    from repro.experiments.report import sweep_table
+
+    spec = ExperimentSpec(
+        name="sim-throughput",
+        kind="perf",
+        designs=tuple(designs),
+        nodes=tuple(nodes),
+        patterns=(CONFIG["pattern"],),
+        rates=(CONFIG["rate"],),
+        seeds=(CONFIG["seed"],),
+        sim_params={
+            "warmup": CONFIG["warmup"],
+            "measure": CONFIG["measure"],
+            "drain_limit": CONFIG["drain_limit"],
+            "repeats": repeats,
+            "sample_free": CONFIG["sample_free"],
+        },
+    )
+    runner = ParallelRunner(workers=1, cache=None)
+    result = runner.run(spec)
+    print(sweep_table(result))
+    points = []
+    for task, payload in result:
+        point = {"design": task.design, "nodes": task.nodes}
+        if payload.get("unsupported"):
+            point["unsupported"] = payload.get("error", True)
+        else:
+            point.update({
+                "events": payload["events"],
+                "wall_s": round(payload["wall_s"], 4),
+                "events_per_sec": round(payload["events_per_sec"], 1),
+                "delivered": payload["delivered"],
+                "avg_latency": round(payload["avg_latency"], 3),
+            })
+        points.append(point)
+    return points
+
+
+def load_trajectory(path: Path) -> dict:
+    if not path.exists():
+        return {"config": CONFIG, "runs": []}
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        # Never silently replace the tracked history with a fresh file:
+        # a truncated write or merge-conflict marker must be repaired
+        # (or the file deliberately deleted), not papered over.
+        raise SystemExit(
+            f"{path} exists but is not valid JSON ({exc}); refusing to "
+            "overwrite the recorded perf trajectory — fix or delete it first"
+        )
+
+
+def compare(previous: list[dict], current: list[dict]) -> None:
+    by_key = {
+        (p["design"], p["nodes"]): p
+        for p in previous if "events_per_sec" in p
+    }
+    lines = []
+    for point in current:
+        old = by_key.get((point["design"], point["nodes"]))
+        if old is None or "events_per_sec" not in point:
+            continue
+        ratio = point["events_per_sec"] / old["events_per_sec"]
+        lines.append(
+            f"  {point['design']:>9s} N={point['nodes']:<5d} "
+            f"{old['events_per_sec']:>12,.0f} -> "
+            f"{point['events_per_sec']:>12,.0f} ev/s  ({ratio:.2f}x)"
+        )
+    if lines:
+        print("\nvs previous recorded run:")
+        print("\n".join(lines))
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+    if args.nodes:
+        nodes = [int(n) for n in args.nodes.split(",") if n.strip()]
+    else:
+        nodes = QUICK_NODES if args.quick else FULL_NODES
+    out = Path(args.out) if args.out else (QUICK_OUT if args.quick else DEFAULT_OUT)
+
+    trajectory = load_trajectory(out)  # fail on corruption before measuring
+    start = time.perf_counter()
+    points = measure(designs, nodes, args.repeats)
+    elapsed = time.perf_counter() - start
+    if trajectory["runs"]:
+        compare(trajectory["runs"][-1]["results"], points)
+    trajectory["runs"].append({
+        "label": args.label or ("quick" if args.quick else "full"),
+        "scale": "quick" if args.quick else "full",
+        "repeats": args.repeats,
+        "elapsed_s": round(elapsed, 1),
+        "results": points,
+    })
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    print(f"\ntrajectory: {out} ({len(trajectory['runs'])} recorded runs, "
+          f"this one took {elapsed:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

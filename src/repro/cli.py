@@ -20,6 +20,10 @@ Four subcommands cover the library's main entry points:
   cycle where the victims' pages move as real network traffic, swept
   over migration rate limits x page sizes (plus the instant-remap
   ``teleport`` baseline) through the same parallel engine and cache.
+* ``perf`` — simulator-throughput measurement (events/sec, wall time)
+  over a designs x scales grid; the benchmark harness records these
+  points as the repo's tracked performance trajectory
+  (``benchmarks/results/sim_throughput.json``).
 """
 
 from __future__ import annotations
@@ -198,6 +202,33 @@ def build_parser() -> argparse.ArgumentParser:
     mig.add_argument("--cache-dir", default=None)
     mig.add_argument("--no-cache", action="store_true")
     mig.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also dump raw task payloads as JSON",
+    )
+
+    perf = sub.add_parser(
+        "perf",
+        help="simulator events/sec across designs x scales (perf trajectory)",
+    )
+    perf.add_argument(
+        "--designs", default="SF,DM,Jellyfish",
+        help="comma-separated topology names",
+    )
+    perf.add_argument("--nodes", default="64,144", help="comma-separated node counts")
+    perf.add_argument("--pattern", default="uniform_random")
+    perf.add_argument(
+        "--rates", default="0.05", help="comma-separated injection rates"
+    )
+    perf.add_argument("--seeds", default="0", help="comma-separated seeds")
+    perf.add_argument("--topology-seed", type=int, default=0)
+    perf.add_argument("--warmup", type=int, default=100)
+    perf.add_argument("--measure", type=int, default=300)
+    perf.add_argument("--drain-limit", type=int, default=20_000)
+    perf.add_argument(
+        "--repeats", type=int, default=2,
+        help="timing repetitions per point (the best is reported)",
+    )
+    perf.add_argument(
         "--output", default=None, metavar="FILE",
         help="also dump raw task payloads as JSON",
     )
@@ -522,6 +553,46 @@ def _cmd_migrate(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    """Simulator-throughput sweep (always uncached: timings are live)."""
+    from repro.experiments import ExperimentSpec, ParallelRunner
+    from repro.experiments.report import sweep_table, write_result_json
+
+    spec = ExperimentSpec(
+        name="cli-perf",
+        kind="perf",
+        designs=_split(args.designs),
+        nodes=_split(args.nodes, int),
+        patterns=(args.pattern,),
+        rates=_split(args.rates, float),
+        seeds=_split(args.seeds, int),
+        topology_seed=args.topology_seed,
+        sim_params={
+            "warmup": args.warmup,
+            "measure": args.measure,
+            "drain_limit": args.drain_limit,
+            "repeats": args.repeats,
+        },
+    )
+    # Serial + cacheless by construction: wall-clock timings must never
+    # be served from cache, and concurrently timed points would steal
+    # each other's cycles.
+    runner = ParallelRunner(workers=1, cache=None)
+    result = runner.run(spec)
+    print(sweep_table(result))
+    print(f"\n{spec.name} [{spec.spec_hash()}]: {result.summary()}")
+    print("trajectory file: python benchmarks/bench_sim_throughput.py "
+          "records these points over time")
+    if args.output:
+        path = write_result_json(
+            args.output,
+            {task.key(): {"task": task.to_dict(), "payload": payload}
+             for task, payload in result},
+        )
+        print(f"payloads: {path}")
+    return 0
+
+
 _COMMANDS = {
     "topology": _cmd_topology,
     "simulate": _cmd_simulate,
@@ -530,6 +601,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "churn": _cmd_churn,
     "migrate": _cmd_migrate,
+    "perf": _cmd_perf,
 }
 
 

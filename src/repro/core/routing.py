@@ -97,20 +97,37 @@ class RouteResult:
 
 
 class _NodeView:
-    """Vectorized snapshot of one router's usable table window."""
+    """Vectorized snapshot of one router's usable table window.
+
+    All per-decision distance math runs over ``all_coords`` — one
+    contiguous ``(1 + window, width)`` matrix whose row 0 is the owning
+    router and whose next ``k`` rows are its one-hop neighbors (the
+    window lists one-hop entries first) — so a forwarding decision
+    costs a single vectorized MD kernel instead of three separate
+    array builds.  ``via_idx``/``inf_mask`` are the per-target via
+    lists and the masked-min penalty matrix, precomputed once per
+    (re)build rather than per packet.
+    """
 
     __slots__ = (
+        "k",
         "nbr_ids",
         "nbr_coords",
         "win_ids",
         "win_coords",
         "win_hop",
         "via_mask",
+        "via_idx",
+        "inf_mask",
+        "all_coords",
+        "scratch",
+        "scratch2",
+        "md_out",
         "id_to_nbr_index",
         "id_to_win_index",
     )
 
-    def __init__(self, table: RoutingTable) -> None:
+    def __init__(self, table: RoutingTable, owner_coords) -> None:
         one_hop = table.one_hop()
         usable_vias = {e.node for e in one_hop}
         # A two-hop entry is only a window target while at least one of
@@ -124,6 +141,7 @@ class _NodeView:
         # *empty* usable window (every neighbor blocked mid-
         # reconfiguration), and reshape(0, -1) is not defined.
         width = len(one_hop[0].coords) if one_hop else 1
+        self.k = len(one_hop)
         self.nbr_ids = np.array([e.node for e in one_hop], dtype=np.int64)
         self.nbr_coords = np.array(
             [e.coords for e in one_hop], dtype=np.float64
@@ -144,6 +162,23 @@ class _NodeView:
                 if i is not None:
                     mask[i, j] = True
         self.via_mask = mask
+        self.via_idx = [np.flatnonzero(mask[:, j]) for j in range(m)]
+        # Adding this to a broadcast win_md row reproduces
+        # np.where(mask, win_md, inf) without building the where() per
+        # decision (x + 0.0 == x exactly; x + inf == inf).
+        self.inf_mask = np.where(mask, 0.0, np.inf)
+        owner_row = np.asarray(owner_coords, dtype=np.float64).reshape(1, -1)
+        if owner_row.shape[1] != width:
+            owner_row = np.zeros((1, width), dtype=np.float64)
+        self.all_coords = np.ascontiguousarray(
+            np.concatenate([owner_row, self.win_coords], axis=0)
+        )
+        # Per-decision scratch space for the fused MD kernel: the
+        # result buffer is valid only until the next call on this view,
+        # which every caller satisfies (consume-before-recompute).
+        self.scratch = np.empty_like(self.all_coords)
+        self.scratch2 = np.empty_like(self.all_coords)
+        self.md_out = np.empty(self.all_coords.shape[0], dtype=np.float64)
         self.id_to_nbr_index = nbr_index
         self.id_to_win_index = {int(n): j for j, n in enumerate(self.win_ids)}
 
@@ -173,6 +208,10 @@ class GreediestRouting:
         self._uni = topology.direction is LinkDirection.UNI
         self.tables: dict[int, RoutingTable] = {}
         self._views: dict[int, _NodeView] = {}
+        #: Bumped on every table/view (re)build so decision caches keyed
+        #: on the old tables (e.g. GreedyPolicy's) auto-invalidate —
+        #: offline reconfiguration never tells policies about itself.
+        self.version = 0
         self._coord_matrix = np.array(
             [topology.coords.vector(v) for v in range(topology.num_nodes)],
             dtype=np.float64,
@@ -183,21 +222,23 @@ class GreediestRouting:
 
     def rebuild(self, nodes: Sequence[int] | None = None) -> None:
         """(Re)build routing tables for *nodes* (default: every active node)."""
+        self.version += 1
         targets = self.topology.active_nodes if nodes is None else nodes
         for v in targets:
             if self.topology.is_active(v):
                 self.tables[v] = RoutingTable.build(self.topology, v)
-                self._views[v] = _NodeView(self.tables[v])
+                self._views[v] = _NodeView(self.tables[v], self._coord_matrix[v])
             else:
                 self.tables.pop(v, None)
                 self._views.pop(v, None)
 
     def refresh_views(self, nodes: Sequence[int] | None = None) -> None:
         """Re-snapshot vectorized views after manual table bit flips."""
+        self.version += 1
         targets = self.tables.keys() if nodes is None else nodes
         for v in list(targets):
             if v in self.tables:
-                self._views[v] = _NodeView(self.tables[v])
+                self._views[v] = _NodeView(self.tables[v], self._coord_matrix[v])
 
     def table(self, node: int) -> RoutingTable:
         """Routing table of *node*."""
@@ -232,7 +273,37 @@ class GreediestRouting:
         """Destination coordinate vector (written into packet headers)."""
         return self._coord_matrix[dst]
 
+    def _window_md(self, view: _NodeView, dst_vec: np.ndarray) -> np.ndarray:
+        """MD to *dst_vec* of ``[owner, *window]`` in one vectorized pass.
+
+        Row 0 is the owning router's own MD; rows ``1..k`` are the
+        one-hop neighbors (the window lists them first); the rest are
+        two-hop targets.  Identical floating-point operations (and thus
+        bit-identical results) to per-array :meth:`_md_array` calls —
+        the fusion only removes per-call dispatch overhead, which is
+        what the simulator fast path leans on.
+        """
+        coords = view.all_coords
+        d = view.scratch
+        if self._uni:
+            np.subtract(dst_vec, coords, out=d)
+            np.mod(d, 1.0, out=d)
+        else:
+            np.subtract(coords, dst_vec, out=d)
+            np.abs(d, out=d)
+            wrap = np.subtract(1.0, d, out=view.scratch2)
+            np.minimum(d, wrap, out=d)
+        return d.min(axis=1, out=view.md_out)
+
     # -- forwarding ----------------------------------------------------------------
+
+    def is_direct(self, current: int, dst: int) -> bool:
+        """Whether *dst* is a usable one-hop neighbor of *current*."""
+        return dst in self._views[current].id_to_nbr_index
+
+    def usable_neighbors(self, current: int):
+        """The usable one-hop neighbor ids of *current* (iterable)."""
+        return self._views[current].id_to_nbr_index.keys()
 
     def candidate_set(
         self, current: int, dst: int, dst_coords: Sequence[float] | None = None
@@ -245,19 +316,21 @@ class GreediestRouting:
         included (the paper's set ``W`` used for adaptive routing).
         """
         view = self._views[current]
-        if view.nbr_ids.size == 0:
+        k = view.k
+        if k == 0:
             return []
         dst_vec = (
             self._coord_matrix[dst]
             if dst_coords is None
             else np.asarray(dst_coords, dtype=np.float64)
         )
-        my_md = float(self._md_array(self._coord_matrix[current], dst_vec))
-        nbr_md = self._md_array(view.nbr_coords, dst_vec)
+        md = self._window_md(view, dst_vec)
+        my_md = md[0]
+        nbr_md = md[1 : k + 1]
         if self.use_two_hop:
-            win_md = self._md_array(view.win_coords, dst_vec)
-            masked = np.where(view.via_mask, win_md[None, :], np.inf)
-            scores = np.minimum(nbr_md, masked.min(axis=1))
+            # win_md + inf_mask == np.where(via_mask, win_md, inf),
+            # with the mask matrix hoisted out of the packet path.
+            scores = np.minimum(nbr_md, (md[1:] + view.inf_mask).min(axis=1))
         else:
             scores = nbr_md
         result = [
@@ -276,26 +349,27 @@ class GreediestRouting:
         neighbor whose via does not itself make strict progress.
         """
         view = self._views[current]
-        if view.nbr_ids.size == 0:
+        k = view.k
+        if k == 0:
             return None
-        my_md = float(self._md_array(self._coord_matrix[current], dst_vec))
-        nbr_md = self._md_array(view.nbr_coords, dst_vec)
+        md = self._window_md(view, dst_vec)
+        my_md = md[0]
+        nbr_md = md[1 : k + 1]
         if not self.use_two_hop:
-            best = int(np.argmin(nbr_md))
-            if float(nbr_md[best]) >= my_md:
+            best = int(nbr_md.argmin())
+            if nbr_md[best] >= my_md:
                 return None
             return int(view.nbr_ids[best]), None
-        win_md = self._md_array(view.win_coords, dst_vec)
-        target = int(np.argmin(win_md))
-        target_md = float(win_md[target])
-        if target_md >= my_md:
+        win_md = md[1:]
+        target = int(win_md.argmin())
+        if win_md[target] >= my_md:
             return None
-        vias = np.flatnonzero(view.via_mask[:, target])
-        via = int(vias[np.argmin(nbr_md[vias])])
+        vias = view.via_idx[target]
+        via = int(vias[nbr_md[vias].argmin()])
         via_id = int(view.nbr_ids[via])
         if view.win_hop[target] == 1:
             return via_id, None
-        commit = int(view.win_ids[target]) if float(nbr_md[via]) >= my_md else None
+        commit = int(view.win_ids[target]) if nbr_md[via] >= my_md else None
         return via_id, commit
 
     def next_hop(

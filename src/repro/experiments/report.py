@@ -94,6 +94,18 @@ def _row(task: ExperimentTask, payload: dict[str, Any]) -> list[str]:
                 )
             ),
         ]
+    if task.kind == "perf":
+        return [
+            task.design, task.nodes, task.pattern, f"{task.rate:g}", task.seed,
+            _fmt(None if unsupported else payload.get("events")),
+            _fmt(None if unsupported else payload.get("wall_s"), ".3f"),
+            _fmt(
+                None if unsupported
+                else payload.get("events_per_sec"), ",.0f"
+            ),
+            _fmt(None if unsupported else payload.get("delivered")),
+            _fmt(None if unsupported else payload.get("avg_latency"), ".1f"),
+        ]
     return [  # path_stats
         task.design, task.nodes, task.seed,
         _fmt(None if unsupported else payload.get("mean_hops")),
@@ -113,6 +125,8 @@ _HEADERS = {
               "avg_lat", "peak_ratio", "recov_cyc", "parked", "conserved"],
     "migration": ["design", "N", "rate", "seed", "mode", "pages", "KiB",
                   "makespan", "fg_p99", "slow_p99", "stalled", "conserved"],
+    "perf": ["design", "N", "pattern", "rate", "seed", "events",
+             "wall_s", "events/s", "delivered", "avg_lat"],
 }
 
 

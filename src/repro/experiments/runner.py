@@ -141,7 +141,14 @@ class ParallelRunner:
         pending: list[ExperimentTask] = []
         hits = 0
         for task in ordered:
-            cached = self.cache.get(task) if self.cache is not None else None
+            # perf payloads carry wall-clock timings: never serve them
+            # from (or store them in) the cache — a replayed timing is
+            # a bogus measurement that looks fresh.
+            cached = (
+                self.cache.get(task)
+                if self.cache is not None and task.kind != "perf"
+                else None
+            )
             if cached is not None:
                 payloads[task.key()] = cached
                 hits += 1
@@ -151,7 +158,7 @@ class ParallelRunner:
         try:
             for task, payload in self._execute(pending):
                 payloads[task.key()] = payload
-                if self.cache is not None:
+                if self.cache is not None and task.kind != "perf":
                     self.cache.put(task, payload)
         finally:
             if pending and not self.keep_memo:

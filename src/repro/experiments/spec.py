@@ -38,6 +38,14 @@ Four task kinds cover the benchmark harness:
     ``footprint_pages`` ...) ride in ``sim_params``.  Grid axes match
     ``churn`` (the ``patterns`` axis is accepted but unused — the
     foreground address stream is uniform over the page footprint).
+``perf``
+    One simulator-throughput measurement: a synthetic run whose
+    payload reports events processed, wall-clock seconds and
+    events/sec alongside the (deterministic) traffic statistics.  Grid
+    axes match ``synthetic``; ``repeats`` in ``sim_params`` picks the
+    best of N timing repetitions.  Timing fields are wall-clock and
+    therefore *not* deterministic — run perf sweeps with caching
+    disabled.
 
 Specs round-trip through JSON (:meth:`to_json` / :meth:`from_json` /
 :meth:`from_file`) so sweeps can be versioned as files and replayed
@@ -54,11 +62,15 @@ from typing import Any, Mapping, Sequence
 __all__ = ["TASK_KINDS", "ExperimentSpec", "ExperimentTask", "freeze_params"]
 
 TASK_KINDS = (
-    "synthetic", "saturation", "workload", "path_stats", "churn", "migration"
+    "synthetic", "saturation", "workload", "path_stats", "churn", "migration",
+    "perf",
 )
 
 #: Bump when task semantics change so stale cache entries are ignored.
-ENGINE_VERSION = 1
+#: (The ResultCache's source-code fingerprint already invalidates on any
+#: repro/ edit; this version is belt-and-braces for semantic changes —
+#: v2: percentile() switched from banker's rounding to round-half-up.)
+ENGINE_VERSION = 2
 
 _Frozen = tuple[tuple[str, Any], ...]
 
@@ -204,13 +216,16 @@ class ExperimentSpec:
             )
         if self.kind == "workload" and not self.workloads:
             raise ValueError("workload specs need at least one workload")
-        if self.kind in ("synthetic", "churn", "migration") and not self.rates:
+        if (
+            self.kind in ("synthetic", "churn", "migration", "perf")
+            and not self.rates
+        ):
             raise ValueError(f"{self.kind} specs need at least one rate")
         for axis in ("designs", "nodes", "seeds"):
             if not getattr(self, axis):
                 raise ValueError(f"spec {self.name!r} has an empty {axis} axis")
         if (
-            self.kind in ("synthetic", "saturation", "churn", "migration")
+            self.kind in ("synthetic", "saturation", "churn", "migration", "perf")
             and not self.patterns
         ):
             raise ValueError(f"spec {self.name!r} has an empty patterns axis")
@@ -235,7 +250,7 @@ class ExperimentSpec:
             topology_params=topo,
         )
         out: list[ExperimentTask] = []
-        if self.kind in ("synthetic", "churn", "migration"):
+        if self.kind in ("synthetic", "churn", "migration", "perf"):
             for design in self.designs:
                 for n in self.nodes:
                     for pattern in self.patterns:

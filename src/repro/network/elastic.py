@@ -190,7 +190,10 @@ class LiveReconfigurator:
         self._probe_routers: set[int] = set()
         self._hold_routers: set[int] = set()
         self._blocked_pairs: list[tuple[int, int]] = []
-        self._parked: list[tuple[int, int, Packet, tuple[int, int] | None, bool]] = []
+        # from_link entries are the simulator's opaque inbound-link
+        # tokens (always None for parked packets — their credit was
+        # released at park time).
+        self._parked: list[tuple[int, int, Packet, Any, bool]] = []
         self._window_active = False
         sim.set_arrival_hook(self._on_arrival)
 
@@ -468,7 +471,7 @@ class LiveReconfigurator:
         self,
         node: int,
         packet: Packet,
-        from_link: tuple[int, int] | None,
+        from_link: Any,
         first_hop: bool,
     ) -> bool:
         if not self._window_active:

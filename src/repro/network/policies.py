@@ -20,7 +20,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Mapping, Sequence
 
-from repro.core.routing import AdaptiveGreediestRouting, GreediestRouting
+from repro.core.routing import AdaptiveGreediestRouting, GreediestRouting, RouteState
 from repro.network.packet import Packet
 
 __all__ = ["RoutingPolicy", "GreedyPolicy", "TablePolicy", "MinimalPolicy"]
@@ -53,11 +53,16 @@ class RoutingPolicy(ABC):
 class GreedyPolicy(RoutingPolicy):
     """String Figure / S2 greediest (optionally adaptive) routing.
 
-    ``cache=True`` memoizes pure-greedy forwarding decisions per
-    ``(current, dst)`` — the decision is a deterministic function of
-    the local table, so the cache is exact.  Adaptive first hops and
-    packets carrying commit/fallback state always take the computed
-    path.  The cache is dropped on reconfiguration.
+    ``cache=True`` memoizes pure-greedy forwarding decisions *and*
+    adaptive candidate sets per ``(current, dst)`` — both are
+    deterministic functions of the local tables, so the caches are
+    exact.  Cached decision entries store only primitives
+    ``(next_hop, commit)`` and rebuild a fresh :class:`RouteState` per
+    packet: :class:`RouteState` is mutable, so handing one stored
+    instance to every hitting packet would alias routing state across
+    in-flight packets.  Packets carrying commit/fallback state always
+    take the freshly computed path.  Both caches are dropped on
+    reconfiguration.
     """
 
     def __init__(self, routing: GreediestRouting, cache: bool = True) -> None:
@@ -65,42 +70,83 @@ class GreedyPolicy(RoutingPolicy):
         self.num_vcs = routing.num_vcs
         self._adaptive = isinstance(routing, AdaptiveGreediestRouting)
         self._cache_enabled = cache
-        self._cache: dict[tuple[int, int], tuple] = {}
+        #: (current, dst) -> (next_hop, commit) for plain greedy hops.
+        self._cache: dict[tuple[int, int], tuple[int, int | None]] = {}
+        #: (current, dst) -> ranked ((score, via), ...) adaptive candidates.
+        self._cand_cache: dict[tuple[int, int], tuple] = {}
+        #: Routing generation the caches were filled against; a table
+        #: rebuild anywhere (including *offline* reconfiguration, which
+        #: never calls on_reconfigure) bumps ``routing.version`` and
+        #: invalidates them on the next forward.
+        self._cache_version = routing.version
 
     def forward(
         self, current: int, packet: Packet, port_load: PortLoad, first_hop: bool
     ) -> int:
         routing = self.routing
         state = packet.route_state
-        plain = state is None or (state.commit is None and not state.in_fallback)
-        adaptive_hop = self._adaptive and first_hop
-        if self._cache_enabled and plain and not adaptive_hop:
-            key = (current, packet.dst)
-            hit = self._cache.get(key)
-            if hit is not None:
-                nxt, new_state = hit
-                packet.route_state = new_state
-                return nxt
-            nxt, new_state = routing.next_hop(
-                current, packet.dst, routing.dst_vector(packet.dst), state
-            )
-            if not new_state.in_fallback:
-                self._cache[key] = (nxt, new_state)
+        plain = state is None or (state.commit is None and state.fallback_md is None)
+        if not (self._cache_enabled and plain):
+            # Commit/fallback state (or caching off): always compute.
+            dst_vec = routing.dst_vector(packet.dst)
+            if self._adaptive and first_hop:
+                nxt, new_state = routing.adaptive_next_hop(
+                    current, packet.dst, port_load, first_hop, dst_vec, state
+                )
+            else:
+                nxt, new_state = routing.next_hop(
+                    current, packet.dst, dst_vec, state
+                )
             packet.route_state = new_state
-            if new_state.in_fallback:
+            if new_state is not None and new_state.in_fallback:
                 packet.fallback_hops += 1
             return nxt
-        dst_vec = routing.dst_vector(packet.dst)
-        if adaptive_hop:
-            nxt, new_state = routing.adaptive_next_hop(
-                current, packet.dst, port_load, first_hop, dst_vec, state
+        if self._cache_version != routing.version:
+            self._cache.clear()
+            self._cand_cache.clear()
+            self._cache_version = routing.version
+        dst = packet.dst
+        key = (current, dst)
+        if self._adaptive and first_hop and not routing.is_direct(current, dst):
+            # Source-router adaptivity (paper §III-B): divert to the
+            # least-loaded progressing via past the congestion
+            # threshold; otherwise fall through to the greedy decision.
+            threshold = routing.congestion_threshold
+            cand = self._cand_cache.get(key)
+            if cand is None:
+                # Quick reject: a divert needs the primary port loaded
+                # past the threshold, so if no output port of this
+                # router is, the candidate ranking is never consulted —
+                # which skips its cost on the (dominant) unloaded path.
+                if any(
+                    port_load(current, nbr) >= threshold
+                    for nbr in routing.usable_neighbors(current)
+                ):
+                    cand = tuple(routing.candidate_set(current, dst))
+                    self._cand_cache[key] = cand
+            if cand is not None and len(cand) > 1 and (
+                port_load(current, cand[0][1]) >= threshold
+            ):
+                _score, nxt = min(
+                    cand,
+                    key=lambda item: (port_load(current, item[1]), item[0], item[1]),
+                )
+                packet.route_state = None
+                return nxt
+        hit = self._cache.get(key)
+        if hit is not None:
+            nxt, commit = hit
+            packet.route_state = (
+                RouteState(commit=commit) if commit is not None else None
             )
-        else:
-            nxt, new_state = routing.next_hop(
-                current, packet.dst, dst_vec, state
-            )
+            return nxt
+        nxt, new_state = routing.next_hop(
+            current, dst, routing.dst_vector(dst), state
+        )
+        if not new_state.in_fallback:
+            self._cache[key] = (nxt, new_state.commit)
         packet.route_state = new_state
-        if new_state is not None and new_state.in_fallback:
+        if new_state.in_fallback:
             packet.fallback_hops += 1
         return nxt
 
@@ -110,6 +156,7 @@ class GreedyPolicy(RoutingPolicy):
     def on_reconfigure(self) -> None:
         self.routing.refresh_views()
         self._cache.clear()
+        self._cand_cache.clear()
 
 
 class TablePolicy(RoutingPolicy):
@@ -229,6 +276,10 @@ class MinimalPolicy(RoutingPolicy):
             else sorted(graph.neighbors(node))
             for node in nodes
         }
+        # Minimal candidate sets are a pure function of the static
+        # distance matrix, so they are memoized per (current, dst) —
+        # the adaptive port_load choice stays dynamic on top.
+        self._cand_cache: dict[tuple[int, int], list[int]] = {}
 
     def distance(self, src: int, dst: int) -> int:
         """Shortest-path distance between two nodes."""
@@ -248,7 +299,11 @@ class MinimalPolicy(RoutingPolicy):
     def forward(
         self, current: int, packet: Packet, port_load: PortLoad, first_hop: bool
     ) -> int:
-        options = self.candidates(current, packet.dst)
+        key = (current, packet.dst)
+        options = self._cand_cache.get(key)
+        if options is None:
+            options = self.candidates(current, packet.dst)
+            self._cand_cache[key] = options
         primary = options[0]
         if not self.adaptive or len(options) == 1:
             return primary
@@ -260,6 +315,9 @@ class MinimalPolicy(RoutingPolicy):
         if self.num_vcs < 2:
             return 0
         return 0 if src <= dst else 1
+
+    def on_reconfigure(self) -> None:
+        self._cand_cache.clear()
 
     def route_length(self, src: int, dst: int) -> int:
         """Hop count of the (minimal) route — equals graph distance."""

@@ -18,6 +18,17 @@ granularity with flit-accurate link serialization:
 Events are kept in a binary heap, so simulation cost scales with
 traffic, not with network size times cycles — which is what makes
 1296-node sweeps tractable in Python.
+
+Hot-path layout (the "fast path"): directed links are keyed by the
+packed integer ``u * num_nodes + v`` instead of an ``(u, v)`` tuple;
+per-link credits, occupancy count, channel count and wire latency live
+on the :class:`_OutPort` itself so one dictionary lookup reaches all
+link state; and three per-node counter arrays (packets destined to a
+node, arrival events targeting it, traffic on its incident links) make
+:meth:`inflight_to` and :meth:`node_quiescent` O(1) instead of scanning
+the event heap — the scans the live-reconfiguration drain loop used to
+pay on every poll.  ``_node_quiescent_scan`` keeps the original
+scanning implementation as the reference for the differential test.
 """
 
 from __future__ import annotations
@@ -34,7 +45,9 @@ from repro.network.stats import SimStats
 __all__ = ["NetworkSimulator"]
 
 # Event codes (heap entries are (time, seq, code, a, b) tuples; tuples
-# beat closures by a wide margin in CPython).
+# beat closures by a wide margin in CPython).  Link events carry the
+# _OutPort object itself in slot ``a`` — sequence numbers are unique,
+# so heap ordering never compares past (time, seq).
 _ARRIVE = 0
 _LINK_FREE = 1
 _CALL = 2
@@ -47,14 +60,23 @@ class _OutPort:
 
     ``channels`` > 1 models a link implemented as parallel physical
     channels (the bandwidth-matched ODM baseline); each channel can
-    carry one packet at a time.
+    carry one packet at a time.  The port also owns the link's credit
+    counters, queued-packet count, and precomputed SerDes + wire
+    latency, so the simulator touches exactly one object per link
+    event.
     """
 
-    __slots__ = ("queues", "active_tx", "channels", "rr", "wake_at",
-                 "stall_armed", "reserve_debt", "stall_failures")
+    __slots__ = ("u", "v", "queues", "credits", "count", "active_tx",
+                 "channels", "rr", "wake_at", "stall_armed", "reserve_debt",
+                 "stall_failures", "lat", "cap")
 
-    def __init__(self, num_vcs: int, channels: int = 1) -> None:
+    def __init__(self, u: int, v: int, num_vcs: int, channels: int,
+                 credits_per_vc: int, lat: int, cap: int) -> None:
+        self.u = u
+        self.v = v
         self.queues: list[deque] = [deque() for _ in range(num_vcs)]
+        self.credits: list[int] = [credits_per_vc] * num_vcs
+        self.count = 0  # queued packets across all VCs (occupancy)
         self.active_tx = 0
         self.channels = channels
         self.rr = 0
@@ -66,9 +88,11 @@ class _OutPort:
         # Consecutive stall timeouts with reserves exhausted (drives the
         # optional emergency escalation).
         self.stall_failures = 0
+        self.lat = lat  # SerDes + wire cycles of this link
+        self.cap = cap  # queue capacity for port_load normalization
 
     def occupancy(self) -> int:
-        return sum(len(q) for q in self.queues)
+        return self.count
 
     def total_reserve_debt(self) -> int:
         return sum(self.reserve_debt)
@@ -91,6 +115,11 @@ class NetworkSimulator:
         Optional ``(u, v) -> cycles`` override for per-link wire
         latency (used with 2D placement; default is uniform
         ``config.wire_cycles``).
+    sample_free:
+        Collect latency/hop percentiles through a streaming quantile
+        sketch instead of storing every sample
+        (:meth:`SimStats.sample_free`) — identical statistics, O(1)
+        memory per delivered packet; opt-in for 1296-node sweeps.
     """
 
     def __init__(
@@ -99,50 +128,57 @@ class NetworkSimulator:
         policy: RoutingPolicy,
         config: NetworkConfig | None = None,
         link_latency: Callable[[int, int], int] | None = None,
+        sample_free: bool = False,
     ) -> None:
         self.topology = topology
         self.policy = policy
         self.config = config or NetworkConfig()
-        self.stats = SimStats()
+        self.stats = SimStats.sample_free() if sample_free else SimStats()
         self.stats.num_nodes = len(topology.active_nodes)
         self.now = 0
         self._heap: list[tuple] = []
         self._seq = 0
-        self._ports: dict[tuple[int, int], _OutPort] = {}
-        self._credits: dict[tuple[int, int], list[int]] = {}
+        self._n = topology.num_nodes
+        #: directed link state, keyed by the packed int ``u * n + v``.
+        self._ports: dict[int, _OutPort] = {}
         self._link_latency_fn = link_latency
-        self._link_latency_cache: dict[tuple[int, int], int] = {}
         self._on_delivery: list[Callable[[Packet, int], None]] = []
         self._arrival_hook: (
-            Callable[[int, Packet, tuple[int, int] | None, bool], bool] | None
+            Callable[[int, Packet, object, bool], bool] | None
         ) = None
-        self._dst_inflight: dict[int, int] = {}
+        n = self._n
+        #: packets in the network destined to each node (O(1) inflight_to).
+        self._dst_inflight: list[int] = [0] * n
+        #: _ARRIVE events in the heap targeting each node.
+        self._pending_arrive: list[int] = [0] * n
+        #: queued + in-transmission packets on links incident to each node.
+        self._node_traffic: list[int] = [0] * n
+        self._bits_cache: dict[int, float] = {}
         self._events_processed = 0
         self.max_events = 200_000_000
 
     # -- wiring helpers -----------------------------------------------------
 
     def _port(self, u: int, v: int) -> _OutPort:
-        port = self._ports.get((u, v))
+        lid = u * self._n + v
+        port = self._ports.get(lid)
         if port is None:
             channels = getattr(self.topology, "link_channels", None)
             count = channels(u, v) if channels is not None else 1
-            port = _OutPort(self.policy.num_vcs, channels=count)
-            self._ports[(u, v)] = port
-            self._credits[(u, v)] = [
-                self.config.buffer_packets * count
-            ] * self.policy.num_vcs
-        return port
-
-    def _wire_cycles(self, u: int, v: int) -> int:
-        lat = self._link_latency_cache.get((u, v))
-        if lat is None:
+            config = self.config
+            num_vcs = self.policy.num_vcs
             if self._link_latency_fn is not None:
-                lat = self._link_latency_fn(u, v)
+                wire = self._link_latency_fn(u, v)
             else:
-                lat = self.config.wire_cycles
-            self._link_latency_cache[(u, v)] = lat
-        return lat
+                wire = config.wire_cycles
+            port = _OutPort(
+                u, v, num_vcs, count,
+                credits_per_vc=config.buffer_packets * count,
+                lat=config.serdes_cycles + wire,
+                cap=config.buffer_packets * num_vcs * count,
+            )
+            self._ports[lid] = port
+        return port
 
     def port_load(self, u: int, v: int) -> float:
         """Output-queue occupancy fraction of link ``u -> v``.
@@ -151,11 +187,10 @@ class NetworkSimulator:
         multi-channel (ODM) link at the same queue depth reports a
         proportionally lower occupancy fraction to adaptive routing.
         """
-        port = self._ports.get((u, v))
+        port = self._ports.get(u * self._n + v)
         if port is None:
             return 0.0
-        cap = self.config.buffer_packets * self.policy.num_vcs * port.channels
-        return min(1.0, port.occupancy() / cap)
+        return min(1.0, port.count / port.cap)
 
     def on_delivery(self, callback: Callable[[Packet, int], None]) -> None:
         """Register ``callback(packet, time)`` to run at each ejection."""
@@ -163,16 +198,19 @@ class NetworkSimulator:
 
     def set_arrival_hook(
         self,
-        hook: Callable[[int, Packet, tuple[int, int] | None, bool], bool] | None,
+        hook: Callable[[int, Packet, object, bool], bool] | None,
     ) -> None:
         """Install ``hook(node, packet, from_link, first_hop) -> bool``.
 
         The hook runs before each non-terminal arrival is forwarded.
-        Returning ``True`` means the hook took ownership of the arrival
-        (e.g. parked it during a reconfiguration window) and must later
-        hand it back via :meth:`rearrive`; the simulator then does
-        nothing further for this event.  A hook that absorbs the packet
-        into local storage should return its inbound-link credit with
+        ``from_link`` is an opaque inbound-link token (``None`` at
+        injection); hand it back unchanged to :meth:`rearrive` or
+        :meth:`release_inbound`.  Returning ``True`` means the hook
+        took ownership of the arrival (e.g. parked it during a
+        reconfiguration window) and must later hand it back via
+        :meth:`rearrive`; the simulator then does nothing further for
+        this event.  A hook that absorbs the packet into local storage
+        should return its inbound-link credit with
         :meth:`release_inbound`, or keep it for exact backpressure.
         Live reconfiguration (:mod:`repro.network.elastic`) is the one
         intended client.
@@ -183,32 +221,34 @@ class NetworkSimulator:
         self,
         node: int,
         packet: Packet,
-        from_link: tuple[int, int] | None,
+        from_link,
         first_hop: bool = False,
         delay: int = 0,
     ) -> None:
         """Re-enter a held or re-routed arrival into the event loop."""
+        self._pending_arrive[node] += 1
         self._push(self.now + delay, _ARRIVE, node, (packet, from_link, first_hop))
 
-    def release_inbound(self, link: tuple[int, int], vc: int) -> None:
+    def release_inbound(self, link, vc: int) -> None:
         """Return an inbound-link credit early (packet absorbed locally).
 
         Live reconfiguration calls this when it parks a packet: the
         router's local hold buffer absorbs the packet, so the credit
         goes back upstream instead of starving the network for the
-        whole blocked window.
+        whole blocked window.  ``link`` is the opaque inbound-link
+        token from the arrival hook (a ``(u, v)`` tuple also works).
         """
+        if not isinstance(link, _OutPort):
+            link = self._ports[link[0] * self._n + link[1]]
         self._release_credit(link, vc)
 
     # -- reconfiguration support -------------------------------------------
 
     def inflight_to(self, node: int) -> int:
-        """Packets currently in the network destined to *node*."""
-        return self._dst_inflight.get(node, 0)
+        """Packets currently in the network destined to *node* (O(1))."""
+        return self._dst_inflight[node]
 
-    def take_queued(
-        self, u: int, v: int
-    ) -> list[tuple[Packet, tuple[int, int] | None]]:
+    def take_queued(self, u: int, v: int) -> list[tuple[Packet, object]]:
         """Remove and return all packets queued on output port ``u -> v``.
 
         Used when a link is disabled mid-run: the caller re-routes the
@@ -218,30 +258,47 @@ class NetworkSimulator:
         arrival events complete normally, modeling the topology switch
         waiting out the last in-flight flits.
         """
-        port = self._ports.get((u, v))
+        port = self._ports.get(u * self._n + v)
         if port is None:
             return []
-        taken: list[tuple[Packet, tuple[int, int] | None]] = []
+        taken: list[tuple[Packet, object]] = []
         for queue in port.queues:
             while queue:
                 _ready, packet, from_link = queue.popleft()
                 taken.append((packet, from_link))
+        removed = len(taken)
+        port.count -= removed
+        self._node_traffic[u] -= removed
+        self._node_traffic[v] -= removed
         return taken
 
     def node_quiescent(self, node: int) -> bool:
-        """Whether *node* carries no traffic at all right now.
+        """Whether *node* carries no traffic at all right now — O(1).
 
         True when nothing is destined to it, none of its output queues
         hold packets, no packet is mid-wire on a link into or out of
         it, and no arrival event targets it.  Reconfiguration waits for
         this before powering the node's links down.
         """
-        if self.inflight_to(node):
+        return not (
+            self._dst_inflight[node]
+            or self._node_traffic[node]
+            or self._pending_arrive[node]
+        )
+
+    def _node_quiescent_scan(self, node: int) -> bool:
+        """Reference implementation of :meth:`node_quiescent`.
+
+        Scans every port and the whole event heap (the pre-fast-path
+        behaviour).  Kept for the counter-vs-scan differential test;
+        never called on the hot path.
+        """
+        if self._dst_inflight[node]:
             return False
-        for (u, v), port in self._ports.items():
-            if u != node and v != node:
+        for port in self._ports.values():
+            if port.u != node and port.v != node:
                 continue
-            if port.active_tx or port.occupancy():
+            if port.active_tx or port.count:
                 return False
         for _time, _seq, code, a, _b in self._heap:
             if code == _ARRIVE and a == node:
@@ -271,22 +328,31 @@ class NetworkSimulator:
         packet.vc = self.policy.select_vc(packet.src, packet.dst)
         self.stats.sent += 1
         self.stats.injected += int(packet.measured)
-        self._dst_inflight[packet.dst] = self._dst_inflight.get(packet.dst, 0) + 1
+        self._dst_inflight[packet.dst] += 1
+        self._pending_arrive[packet.src] += 1
         self._push(t, _ARRIVE, packet.src, (packet, None, True))
 
     # -- event processing -------------------------------------------------------------
 
     def _deliver(self, node: int, packet: Packet, from_link) -> None:
         packet.arrive_time = self.now
-        self.stats.delivered += 1
-        self._dst_inflight[packet.dst] -= 1
+        stats = self.stats
+        stats.delivered += 1
+        dst = packet.dst
+        remaining = self._dst_inflight[dst] - 1
+        if remaining < 0:
+            raise RuntimeError(
+                f"destined-in-flight counter for node {dst} went negative "
+                "(double delivery? a hook re-entered a packet it did not own?)"
+            )
+        self._dst_inflight[dst] = remaining
         if packet.measured:
-            self.stats.measured_delivered += 1
-            self.stats.latency.add(packet.latency)
-            self.stats.hops.add(packet.hops)
-            self.stats.flit_delivered += packet.size_flits
-            self.stats.fallback_hops += packet.fallback_hops
-            self.stats.total_hops += packet.hops
+            stats.measured_delivered += 1
+            stats.latency.add(packet.latency)
+            stats.hops.add(packet.hops)
+            stats.flit_delivered += packet.size_flits
+            stats.fallback_hops += packet.fallback_hops
+            stats.total_hops += packet.hops
         if from_link is not None:
             self._release_credit(from_link, packet.vc)
         for callback in self._on_delivery:
@@ -294,6 +360,7 @@ class NetworkSimulator:
 
     def _process_arrival(self, node: int, payload) -> None:
         packet, from_link, first_hop = payload
+        self._pending_arrive[node] -= 1
         if node == packet.dst:
             self._deliver(node, packet, from_link)
             return
@@ -302,37 +369,49 @@ class NetworkSimulator:
         ):
             return  # parked: the hook re-enters it via rearrive()
         nxt = self.policy.forward(node, packet, self.port_load, first_hop)
-        port = self._port(node, nxt)
-        self.stats.queue_samples += 1
-        self.stats.queue_total += port.occupancy()
-        ready = self.now + self.config.router_cycles
-        port.queues[packet.vc].append((ready, packet, from_link))
-        self._try_send(node, nxt)
+        port = self._ports.get(node * self._n + nxt)
+        if port is None:
+            port = self._port(node, nxt)
+        stats = self.stats
+        stats.queue_samples += 1
+        stats.queue_total += port.count
+        port.queues[packet.vc].append(
+            (self.now + self.config.router_cycles, packet, from_link)
+        )
+        port.count += 1
+        traffic = self._node_traffic
+        traffic[node] += 1
+        traffic[nxt] += 1
+        if port.active_tx < port.channels:
+            self._try_send(port)
 
-    def _release_credit(self, link: tuple[int, int], vc: int) -> None:
-        port = self._ports[link]
-        if port.reserve_debt[vc] > 0:
+    def _release_credit(self, port: _OutPort, vc: int) -> None:
+        debt = port.reserve_debt
+        if debt[vc] > 0:
             # A reserve (escape) slot was loaned to this VC during
             # deadlock recovery; repay it before restoring normal
             # credits, so downstream buffering stays bounded.
-            port.reserve_debt[vc] -= 1
+            debt[vc] -= 1
         else:
-            self._credits[link][vc] += 1
-        self._try_send(link[0], link[1])
+            port.credits[vc] += 1
+        self._try_send(port)
 
-    def _try_send(self, u: int, v: int) -> None:
-        port = self._ports[(u, v)]
-        now = self.now
+    def _try_send(self, port: _OutPort) -> None:
         if port.active_tx >= port.channels:
             return  # the LINK_FREE event will retry
-        credits = self._credits[(u, v)]
-        num_vcs = len(port.queues)
+        now = self.now
+        queues = port.queues
+        credits = port.credits
+        num_vcs = len(queues)
+        rr = port.rr
         chosen_vc = -1
-        min_ready: int | None = None
+        min_ready = None
         credit_blocked = False
         for i in range(num_vcs):
-            vc = (port.rr + i) % num_vcs
-            queue = port.queues[vc]
+            vc = rr + i
+            if vc >= num_vcs:
+                vc -= num_vcs
+            queue = queues[vc]
             if not queue:
                 continue
             ready = queue[0][0]
@@ -350,29 +429,37 @@ class NetworkSimulator:
                 port.wake_at is None or port.wake_at > min_ready
             ):
                 port.wake_at = min_ready
-                self._push(min_ready, _WAKE, u, v)
+                self._push(min_ready, _WAKE, port, None)
             if credit_blocked and not port.stall_armed:
                 port.stall_armed = True
-                self._push(now + self.config.deadlock_timeout_cycles, _STALL, u, v)
+                self._push(
+                    now + self.config.deadlock_timeout_cycles, _STALL, port, None
+                )
             return
-        _ready, packet, from_link = port.queues[chosen_vc].popleft()
-        port.rr = (chosen_vc + 1) % num_vcs
+        _ready, packet, from_link = queues[chosen_vc].popleft()
+        port.count -= 1
+        port.rr = chosen_vc + 1 if chosen_vc + 1 < num_vcs else 0
         credits[chosen_vc] -= 1
         if from_link is not None:
             self._release_credit(from_link, packet.vc)
         port.active_tx += 1
         tail = now + packet.size_flits
         packet.hops += 1
-        bits = self.config.packet_bits(packet.payload_bytes)
-        self.stats.bit_hops += bits
-        self.stats.flit_hops += packet.size_flits
-        arrive = tail + self.config.serdes_cycles + self._wire_cycles(u, v)
-        self._push(tail, _LINK_FREE, u, v)
-        self._push(arrive, _ARRIVE, v, (packet, (u, v), False))
+        bits = self._bits_cache.get(packet.payload_bytes)
+        if bits is None:
+            bits = self.config.packet_bits(packet.payload_bytes)
+            self._bits_cache[packet.payload_bytes] = bits
+        stats = self.stats
+        stats.bit_hops += bits
+        stats.flit_hops += packet.size_flits
+        v = port.v
+        self._push(tail, _LINK_FREE, port, None)
+        self._pending_arrive[v] += 1
+        self._push(tail + port.lat, _ARRIVE, v, (packet, port, False))
         if port.active_tx < port.channels:
-            self._try_send(u, v)
+            self._try_send(port)
 
-    def _recover_stall(self, u: int, v: int) -> None:
+    def _recover_stall(self, port: _OutPort) -> None:
         """Escape-buffer deadlock recovery (see module docstring).
 
         If the link is still credit-blocked after the stall timeout,
@@ -389,11 +476,10 @@ class NetworkSimulator:
         transient can leave behind in a saturated network.  Each
         over-bound loan is counted in ``stats.emergency_loans``.
         """
-        port = self._ports[(u, v)]
         port.stall_armed = False
         if port.active_tx >= port.channels:
             return
-        credits = self._credits[(u, v)]
+        credits = port.credits
         blocked = [
             vc
             for vc, queue in enumerate(port.queues)
@@ -409,7 +495,8 @@ class NetworkSimulator:
                 # All reserve slots loaned out already; re-arm and wait.
                 port.stall_armed = True
                 self._push(
-                    self.now + self.config.deadlock_timeout_cycles, _STALL, u, v
+                    self.now + self.config.deadlock_timeout_cycles,
+                    _STALL, port, None,
                 )
                 return
             self.stats.emergency_loans += 1
@@ -419,7 +506,7 @@ class NetworkSimulator:
         credits[oldest_vc] += 1
         port.reserve_debt[oldest_vc] += 1
         self.stats.deadlock_recoveries += 1
-        self._try_send(u, v)
+        self._try_send(port)
 
     # -- main loop ---------------------------------------------------------------------
 
@@ -431,32 +518,41 @@ class NetworkSimulator:
         injection processes stop.
         """
         heap = self._heap
+        heappop = heapq.heappop
+        process_arrival = self._process_arrival
+        try_send = self._try_send
+        node_traffic = self._node_traffic
+        max_events = self.max_events
         while heap:
-            time, _seq, code, a, b = heap[0]
+            entry = heap[0]
+            time = entry[0]
             if until is not None and time > until:
                 break
-            heapq.heappop(heap)
+            heappop(heap)
             self.now = time
             self._events_processed += 1
-            if self._events_processed > self.max_events:
+            if self._events_processed > max_events:
                 raise RuntimeError(
-                    f"simulation exceeded {self.max_events} events "
+                    f"simulation exceeded {max_events} events "
                     "(livelock or runaway injection?)"
                 )
+            code = entry[2]
             if code == _ARRIVE:
-                self._process_arrival(a, b)
+                process_arrival(entry[3], entry[4])
             elif code == _LINK_FREE:
-                port = self._ports[(a, b)]
+                port = entry[3]
                 port.active_tx -= 1
-                self._try_send(a, b)
+                node_traffic[port.u] -= 1
+                node_traffic[port.v] -= 1
+                try_send(port)
             elif code == _WAKE:
-                port = self._ports[(a, b)]
+                port = entry[3]
                 port.wake_at = None
-                self._try_send(a, b)
+                try_send(port)
             elif code == _STALL:
-                self._recover_stall(a, b)
+                self._recover_stall(entry[3])
             else:  # _CALL
-                a(self.now)
+                entry[3](time)
         if until is not None:
             self.now = max(self.now, until)
         return self.stats

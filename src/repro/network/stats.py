@@ -5,21 +5,71 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-__all__ = ["LatencyAccumulator", "SimStats", "percentile"]
+__all__ = ["LatencyAccumulator", "QuantileSketch", "SimStats", "percentile"]
 
 
 def percentile(samples: list[float], q: float) -> float:
-    """q-th percentile (0..100) by nearest-rank over *samples*."""
+    """q-th percentile (0..100) by nearest-rank over *samples*.
+
+    The virtual index ``q/100 * (n-1)`` is rounded half **up**, so the
+    median of two samples is the upper one (plain ``round`` uses
+    banker's rounding — ``round(0.5) == 0`` — which silently returned
+    the lower sample).
+    """
     if not samples:
         return 0.0
     data = sorted(samples)
-    idx = min(len(data) - 1, max(0, round(q / 100.0 * (len(data) - 1))))
+    idx = int(q / 100.0 * (len(data) - 1) + 0.5)  # round half up (idx >= 0)
+    idx = min(len(data) - 1, max(0, idx))
     return float(data[idx])
+
+
+class QuantileSketch:
+    """Streaming quantile sketch over a value -> count histogram.
+
+    Simulator latencies and hop counts are integer cycle counts drawn
+    from a bounded range, so the histogram is *exact* and tiny: memory
+    scales with the number of distinct values seen (thousands), not the
+    number of samples (millions at 1296 nodes).  Percentiles match
+    :func:`percentile` over the raw sample list bit-for-bit, which is
+    what lets the sample-free mode guarantee identical ``SimStats``.
+    """
+
+    __slots__ = ("counts", "count")
+
+    def __init__(self) -> None:
+        self.counts: dict[float, int] = {}
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        counts = self.counts
+        counts[value] = counts.get(value, 0) + 1
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank (round-half-up) percentile of the histogram."""
+        if not self.count:
+            return 0.0
+        idx = int(q / 100.0 * (self.count - 1) + 0.5)
+        idx = min(self.count - 1, max(0, idx))
+        cumulative = 0
+        value = 0.0
+        for value, n in sorted(self.counts.items()):
+            cumulative += n
+            if cumulative > idx:
+                break
+        return float(value)
 
 
 @dataclass
 class LatencyAccumulator:
-    """Streaming mean/percentile-friendly latency accumulator."""
+    """Streaming mean/percentile-friendly latency accumulator.
+
+    Two storage modes share one interface: the default keeps raw
+    samples (exact percentiles, O(n) memory); the sample-free mode
+    (:meth:`sample_free`) folds values into a :class:`QuantileSketch`
+    so large sweeps do not hold millions of floats.
+    """
 
     count: int = 0
     total: float = 0.0
@@ -27,6 +77,13 @@ class LatencyAccumulator:
     maximum: float = 0.0
     samples: list[float] = field(default_factory=list)
     keep_samples: bool = True
+    sketch: QuantileSketch | None = None
+
+    @classmethod
+    def sample_free(cls) -> "LatencyAccumulator":
+        """An accumulator that sketches percentiles instead of storing
+        samples (opt-in for large-scale runs)."""
+        return cls(keep_samples=False, sketch=QuantileSketch())
 
     def add(self, value: float) -> None:
         self.count += 1
@@ -36,6 +93,8 @@ class LatencyAccumulator:
             self.maximum = value
         if self.keep_samples:
             self.samples.append(value)
+        elif self.sketch is not None:
+            self.sketch.add(value)
 
     @property
     def mean(self) -> float:
@@ -50,6 +109,8 @@ class LatencyAccumulator:
 
     def percentile(self, q: float) -> float:
         """q-th percentile (0..100) of recorded samples."""
+        if not self.keep_samples and self.sketch is not None:
+            return self.sketch.percentile(q)
         return percentile(self.samples, q)
 
 
@@ -81,6 +142,15 @@ class SimStats:
     num_nodes: int = 0
     queue_samples: int = 0
     queue_total: float = 0.0
+
+    @classmethod
+    def sample_free(cls) -> "SimStats":
+        """Stats whose latency/hop accumulators sketch percentiles
+        instead of storing every sample (1296-node sweeps)."""
+        return cls(
+            latency=LatencyAccumulator.sample_free(),
+            hops=LatencyAccumulator.sample_free(),
+        )
 
     @property
     def avg_latency(self) -> float:

@@ -125,15 +125,21 @@ def run_synthetic(
     payload_bytes: int = 64,
     sources: list[int] | None = None,
     link_latency=None,
+    sample_free: bool = False,
 ) -> SimStats:
     """One synthetic-traffic simulation, start to drain.
 
     Returns the :class:`~repro.network.stats.SimStats` with measured
     latency/throughput.  ``drain_limit`` bounds the post-injection
     drain so saturated runs terminate (their accepted-rate < 1 then
-    flags saturation).
+    flags saturation).  ``sample_free`` swaps the latency/hop sample
+    lists for streaming quantile sketches (identical statistics,
+    bounded memory — intended for 1296-node sweeps).
     """
-    sim = NetworkSimulator(topology, policy, config, link_latency=link_latency)
+    sim = NetworkSimulator(
+        topology, policy, config, link_latency=link_latency,
+        sample_free=sample_free,
+    )
     injector = BernoulliInjector(
         sim,
         pattern,

@@ -8,6 +8,8 @@ fresh or with warm per-process memo caches.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments import ExperimentSpec, ParallelRunner, clear_memo
 
 SPEC = ExperimentSpec(
@@ -43,6 +45,7 @@ def test_repeat_runs_identical_with_warm_memo():
     clear_memo()
 
 
+@pytest.mark.slow
 def test_churn_sweep_deterministic_across_workers():
     """Live reconfiguration is still a pure function of the task.
 

@@ -1,0 +1,125 @@
+"""Golden-stats grid: seed-fixed runs whose SimStats must never drift.
+
+The fixture ``golden_simstats.json`` was recorded at the commit *before*
+the simulator fast path landed, so the equivalence test proves the
+optimized event loop produces bit-identical statistics to the original
+implementation across a topology x policy grid (greedy adaptive, greedy
+table, minimal, k-shortest-path, multi-channel links, deadlock
+recovery).
+
+Regenerate (only when simulation *semantics* intentionally change)::
+
+    PYTHONPATH=src python tests/network/golden_grid.py --write
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+FIXTURE = Path(__file__).parent / "golden_simstats.json"
+
+WARMUP, MEASURE, DRAIN = 100, 300, 20_000
+
+#: (design, nodes, pattern, rate, seed, config overrides)
+GRID: list[tuple[str, int, str, float, int, dict]] = [
+    ("SF", 64, "uniform_random", 0.10, 0, {}),
+    ("SF", 64, "uniform_random", 0.10, 1, {}),
+    ("SF", 64, "tornado", 0.30, 0, {}),
+    # Small buffers under load: exercises stall timers, reserve loans
+    # and the escape-buffer deadlock recovery.
+    ("SF", 64, "uniform_random", 0.45, 0,
+     {"buffer_packets": 2, "deadlock_timeout_cycles": 16}),
+    ("SF", 96, "hotspot", 0.15, 2, {}),
+    # 8-port / 4-space regime (the >=256-node Figure 8 configuration).
+    ("SF", 256, "uniform_random", 0.05, 0, {}),
+    ("S2", 64, "uniform_random", 0.20, 0, {}),
+    ("DM", 36, "uniform_random", 0.15, 0, {}),
+    ("DM", 64, "complement", 0.30, 1, {}),
+    ("ODM", 36, "uniform_random", 0.30, 0, {}),  # multi-channel links
+    ("FB", 64, "uniform_random", 0.20, 0, {}),
+    ("Jellyfish", 64, "uniform_random", 0.20, 0, {}),
+]
+
+
+def entry_key(design: str, nodes: int, pattern: str, rate: float, seed: int) -> str:
+    return f"{design}/N{nodes}/{pattern}/r{rate:g}/s{seed}"
+
+
+def run_point(design: str, nodes: int, pattern_name: str, rate: float,
+              seed: int, config_overrides: dict):
+    """One seed-fixed synthetic run of the grid (fresh everything)."""
+    from repro.network.config import NetworkConfig
+    from repro.topologies.registry import make_policy, make_topology
+    from repro.traffic.injection import run_synthetic
+    from repro.traffic.patterns import make_pattern
+
+    topo = make_topology(design, nodes, seed=0)
+    policy = make_policy(topo)
+    pattern = make_pattern(pattern_name, topo.active_nodes)
+    config = NetworkConfig(**config_overrides) if config_overrides else None
+    return run_synthetic(
+        topo, policy, pattern, rate, config=config,
+        warmup=WARMUP, measure=MEASURE, drain_limit=DRAIN, seed=seed,
+    )
+
+
+def stats_digest(stats) -> dict:
+    """Every SimStats field that must stay bit-identical.
+
+    Percentiles use ``numpy.percentile(..., method="nearest")`` so the
+    digest is independent of this repo's own nearest-rank rounding.
+    """
+    import numpy as np
+
+    def pct(acc, q):
+        samples = sorted(acc.samples) if acc.samples else []
+        if not samples:
+            return 0.0
+        return float(np.percentile(samples, q, method="nearest"))
+
+    return {
+        "sent": stats.sent,
+        "injected": stats.injected,
+        "delivered": stats.delivered,
+        "measured_delivered": stats.measured_delivered,
+        "fallback_hops": stats.fallback_hops,
+        "total_hops": stats.total_hops,
+        "deadlock_recoveries": stats.deadlock_recoveries,
+        "emergency_loans": stats.emergency_loans,
+        "flit_hops": stats.flit_hops,
+        "flit_delivered": stats.flit_delivered,
+        "bit_hops": stats.bit_hops,
+        "queue_samples": stats.queue_samples,
+        "queue_total": stats.queue_total,
+        "latency_count": stats.latency.count,
+        "latency_total": stats.latency.total,
+        "latency_total_sq": stats.latency.total_sq,
+        "latency_max": stats.latency.maximum,
+        "latency_p50": pct(stats.latency, 50),
+        "latency_p95": pct(stats.latency, 95),
+        "latency_p99": pct(stats.latency, 99),
+        "hops_count": stats.hops.count,
+        "hops_total": stats.hops.total,
+        "hops_max": stats.hops.maximum,
+    }
+
+
+def generate() -> dict:
+    out = {}
+    for design, nodes, pattern, rate, seed, cfg in GRID:
+        key = entry_key(design, nodes, pattern, rate, seed)
+        stats = run_point(design, nodes, pattern, rate, seed, cfg)
+        out[key] = stats_digest(stats)
+        print(f"{key}: delivered={stats.delivered} "
+              f"lat={stats.avg_latency:.2f}")
+    return out
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" not in sys.argv:
+        sys.exit("refusing to overwrite fixture without --write")
+    FIXTURE.write_text(json.dumps(generate(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {FIXTURE}")

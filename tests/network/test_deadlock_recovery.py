@@ -43,8 +43,9 @@ def starved_sim():
     violations: list[str] = []
 
     def check_invariants(now: int) -> None:
-        for link, port in sim._ports.items():
-            credits = sim._credits[link]
+        for port in sim._ports.values():
+            link = (port.u, port.v)
+            credits = port.credits
             capacity = CONFIG.buffer_packets * port.channels
             debt = port.total_reserve_debt()
             if debt > CONFIG.reserve_slots:
@@ -80,10 +81,11 @@ def test_recoveries_fire_under_starvation(starved_sim):
 
 def test_reserve_debt_fully_repaid(starved_sim):
     sim, _violations = starved_sim
-    for link, port in sim._ports.items():
+    for port in sim._ports.values():
+        link = (port.u, port.v)
         assert port.total_reserve_debt() == 0, link
         capacity = CONFIG.buffer_packets * port.channels
-        assert sim._credits[link] == [capacity] * len(sim._credits[link]), link
+        assert port.credits == [capacity] * len(port.credits), link
 
 
 def test_buffering_stays_bounded(starved_sim):

@@ -253,6 +253,7 @@ class TestDeterminism:
         assert a.payload() == b.payload()
         assert a.series == b.series
 
+    @pytest.mark.slow
     def test_seed_changes_results(self):
         a, _ = churn_cycle(rate=0.18, seed=11)
         b, _ = churn_cycle(rate=0.18, seed=12)

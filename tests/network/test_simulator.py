@@ -134,11 +134,10 @@ class TestBackpressure:
         injector.start()
         sim.drain()
         assert sim.stats.deadlock_recoveries > 0
-        for link, credits in sim._credits.items():
-            port = sim._ports[link]
+        for port in sim._ports.values():
             assert port.occupancy() == 0
             assert port.total_reserve_debt() == 0
-            assert all(c == cfg.buffer_packets for c in credits)
+            assert all(c == cfg.buffer_packets for c in port.credits)
 
     def test_multichannel_links_increase_throughput(self):
         from repro.topologies.mesh import MeshTopology, OptimizedMeshTopology
