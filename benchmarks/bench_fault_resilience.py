@@ -1,0 +1,164 @@
+"""Fault resilience — unplanned failures, SF vs the baselines.
+
+The paper's §V resilience argument is that String Figure's random
+multi-way topology keeps near-optimal path diversity as nodes come and
+go.  PR-2/PR-3 exercised only *planned* departures (drain first, then
+switch); this bench prices the unplanned case: links die and nodes
+crash mid-packet, detection lags by a timeout, and the network must
+degrade gracefully rather than deadlock or lose data silently.
+
+Reproduced/verified claims:
+
+* **Nothing disappears silently** — ``sent == delivered + lost`` holds
+  exactly at every grid point, with every loss attributed (mid-wire,
+  in-crash, unreachable) and every retransmission accounted.
+* **A mirrored crash loses zero pages** — with replicas, crash
+  recovery reconstructs every page of the dead node onto survivors as
+  real network traffic; without replicas, exactly the crashed node's
+  resident pages are lost (the lost-page accounting).
+* **Detection latency is the resilience knob** — a slower detector
+  widens the damage window: more packets lost into the failure, more
+  retransmissions, higher during-fault p99.
+* **SF's repair is local** — String Figure repairs by table bit flips
+  (block + via-prune) while DM/Jellyfish recompute global minimal
+  routing; both converge, which is the comparison the table shows.
+
+One family of declarative ``faults`` sweeps (designs x detection
+timeouts, plus a mirrored-vs-unmirrored crash pair) through the
+parallel experiment engine with caching.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scale
+
+from repro.experiments import ExperimentSpec
+
+NODES = scale(32, 64)
+MEASURE = scale(2500, 6000)
+WARMUP = 200
+RATE = 0.08
+FOOTPRINT = scale(64, 128)
+DETECTION_TIMEOUTS = (100, 400)
+
+BASE = ExperimentSpec(
+    name="fault-resilience",
+    kind="faults",
+    designs=("SF", "DM", "Jellyfish"),
+    nodes=(NODES,),
+    patterns=("uniform_random",),
+    rates=(RATE,),
+    seeds=(0,),
+    topology_seed=3,
+    sim_params={
+        "warmup": WARMUP,
+        "measure": MEASURE,
+        "drain_limit": scale(40_000, 80_000),
+        "footprint_pages": FOOTPRINT,
+        "fault_rate": 0.002,
+    },
+)
+
+RANDOM_SPECS = {
+    timeout: BASE.with_overrides(
+        name=f"fault-resilience-dt{timeout}",
+        sim_params={"schedule": "random", "detection_timeout": timeout},
+    )
+    for timeout in DETECTION_TIMEOUTS
+}
+
+CRASH_SPECS = {
+    mirrored: BASE.with_overrides(
+        name=f"fault-crash-{'mirrored' if mirrored else 'unmirrored'}",
+        designs=("SF",),
+        sim_params={
+            "schedule": "crash",
+            "detection_timeout": DETECTION_TIMEOUTS[0],
+            "mirrored": mirrored,
+        },
+    )
+    for mirrored in (True, False)
+}
+
+
+def _conserved(payload: dict) -> bool:
+    return payload["all_conserved"]
+
+
+def test_fault_resilience(benchmark, record_result, experiment_runner):
+    def reproduce():
+        data: dict[str, dict] = {"random": {}, "crash": {}}
+        for timeout, spec in RANDOM_SPECS.items():
+            sweep = experiment_runner.run(spec)
+            print(f"\n[engine] {spec.name}: {sweep.summary()}")
+            for task, payload in sweep:
+                data["random"][f"{task.design} dt={timeout}"] = payload
+        for mirrored, spec in CRASH_SPECS.items():
+            sweep = experiment_runner.run(spec)
+            print(f"[engine] {spec.name}: {sweep.summary()}")
+            for task, payload in sweep:
+                label = "mirrored" if mirrored else "unmirrored"
+                data["crash"][label] = payload
+        return data
+
+    data = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+
+    rows = []
+    for family, group in data.items():
+        for label, p in group.items():
+            rows.append([
+                family,
+                label,
+                p["num_faults"],
+                p["lost"],
+                p["retransmits"],
+                f"{p['fg_p99_baseline']:.0f}",
+                f"{p['fg_p99_during']:.0f}",
+                f"{p['fg_p99_after']:.0f}",
+                p["unreachable_node_cycles"],
+                p["pages_lost"],
+                p["pages_recovered"],
+                "yes" if _conserved(p) else "NO",
+            ])
+    print_table(
+        "Fault resilience — loss, retransmits, phase p99, availability",
+        ["family", "scenario", "faults", "lost", "retx", "p99_base",
+         "p99_during", "p99_after", "unreach_cyc", "pg_lost", "pg_recov",
+         "conserved"],
+        rows,
+    )
+    record_result("fault_resilience", data)
+
+    # Conservation everywhere: packets and pages, every grid point.
+    for family, group in data.items():
+        for label, payload in group.items():
+            assert _conserved(payload), (family, label)
+
+    # Every scheduled fault family actually fired faults and recovered.
+    for label, payload in data["random"].items():
+        assert payload["num_faults"] > 0, label
+        assert payload["all_recovered"], label
+
+    # Mirrored crash: zero pages lost, all reconstructed; unmirrored:
+    # exactly the crashed node's residents lost, none reconstructed.
+    mirrored = data["crash"]["mirrored"]
+    unmirrored = data["crash"]["unmirrored"]
+    assert mirrored["num_faults"] == 1 and unmirrored["num_faults"] == 1
+    assert mirrored["pages_lost"] == 0
+    assert mirrored["recoveries_done"]
+    assert mirrored["pages_recovered"] > 0
+    assert unmirrored["pages_lost"] > 0
+    assert unmirrored["pages_recovered"] == 0
+
+    # Slower detection = wider damage window (weak monotonicity: the
+    # slow detector can never lose *fewer* packets than the fast one
+    # summed across the design axis).
+    fast = sum(
+        p["lost"] for label, p in data["random"].items()
+        if label.endswith(f"dt={DETECTION_TIMEOUTS[0]}")
+    )
+    slow = sum(
+        p["lost"] for label, p in data["random"].items()
+        if label.endswith(f"dt={DETECTION_TIMEOUTS[-1]}")
+    )
+    assert slow >= fast, (fast, slow)

@@ -20,6 +20,12 @@ Four subcommands cover the library's main entry points:
   cycle where the victims' pages move as real network traffic, swept
   over migration rate limits x page sizes (plus the instant-remap
   ``teleport`` baseline) through the same parallel engine and cache.
+* ``faults`` — unplanned failures end-to-end: link flaps/failures and
+  node hangs/crashes fire into the event loop with no drain and no
+  warning; timeout-based detection triggers emergency reroute and (for
+  crashes) page recovery, swept over fault rate x detection timeout x
+  topology (SF vs DM vs Jellyfish — the paper's resilience
+  comparison) through the same parallel engine and cache.
 * ``perf`` — simulator-throughput measurement (events/sec, wall time)
   over a designs x scales grid; the benchmark harness records these
   points as the repo's tracked performance trajectory
@@ -202,6 +208,71 @@ def build_parser() -> argparse.ArgumentParser:
     mig.add_argument("--cache-dir", default=None)
     mig.add_argument("--no-cache", action="store_true")
     mig.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also dump raw task payloads as JSON",
+    )
+
+    faults = sub.add_parser(
+        "faults",
+        help="unplanned failures: crash/hang/flap resilience "
+             "(parallel + cached)",
+    )
+    faults.add_argument(
+        "--designs", default="SF,DM,Jellyfish",
+        help="comma-separated topology names (the resilience comparison)",
+    )
+    faults.add_argument("--nodes", default="64", help="comma-separated node counts")
+    faults.add_argument("--ports", type=int, default=None)
+    faults.add_argument(
+        "--schedule", default="random", choices=("random", "crash"),
+        help="random: mixed fault arrivals at --fault-rates; "
+             "crash: one unannounced node crash (the recovery benchmark)",
+    )
+    faults.add_argument(
+        "--fault-rates", default="0.001",
+        help="comma-separated fault arrival rates (faults/cycle); "
+             "each becomes one sweep variant",
+    )
+    faults.add_argument(
+        "--detection-timeouts", default="200",
+        help="comma-separated detection latencies (cycles); "
+             "each becomes one sweep variant",
+    )
+    faults.add_argument(
+        "--kinds", default="link_down,link_flap,node_crash,node_hang",
+        help="comma-separated fault kinds for the random schedule",
+    )
+    faults.add_argument("--pattern", default="uniform_random")
+    faults.add_argument(
+        "--rates", default="0.1", help="comma-separated injection rates"
+    )
+    faults.add_argument(
+        "--footprint-pages", type=int, default=64,
+        help="resident pages tracked through crash recovery (0 = no "
+             "page layer)",
+    )
+    faults.add_argument(
+        "--no-mirror", action="store_true",
+        help="pages have no replica: a crash loses them (lost-page "
+             "accounting instead of recovery)",
+    )
+    faults.add_argument(
+        "--retransmit-timeout", type=int, default=64,
+        help="cycles a source waits before re-sending a lost packet",
+    )
+    faults.add_argument("--max-retries", type=int, default=8)
+    faults.add_argument("--seeds", default="0", help="comma-separated seeds")
+    faults.add_argument("--topology-seed", type=int, default=0)
+    faults.add_argument("--warmup", type=int, default=300)
+    faults.add_argument("--measure", type=int, default=4000)
+    faults.add_argument("--drain-limit", type=int, default=60_000)
+    faults.add_argument(
+        "--workers", type=int, default=1,
+        help="process count (0 = one per CPU; results identical)",
+    )
+    faults.add_argument("--cache-dir", default=None)
+    faults.add_argument("--no-cache", action="store_true")
+    faults.add_argument(
         "--output", default=None, metavar="FILE",
         help="also dump raw task payloads as JSON",
     )
@@ -553,6 +624,132 @@ def _cmd_migrate(args) -> int:
     return 0
 
 
+def _faults_report(result) -> None:
+    """Per-point phase latency + availability detail under the table."""
+    for task, payload in result:
+        if payload.get("unsupported"):
+            continue
+        conserved = payload["all_conserved"]
+        print(
+            f"\n{task.label()}: {payload['num_faults']} faults "
+            f"{payload['faults_by_kind']}, "
+            f"lost {payload['lost']} pkts ({payload['retransmits']} "
+            f"retransmits, {payload['abandoned_retries']} gave up), "
+            f"unreachable {payload['unreachable_node_cycles']} node-cycles, "
+            f"pages lost/recovered {payload['pages_lost']}/"
+            f"{payload['pages_recovered']}, "
+            f"conservation {'ok' if conserved else 'BROKEN'}"
+        )
+        for phase in ("baseline", "during", "after"):
+            print(
+                f"  {phase:8s} p50 {payload[f'fg_p50_{phase}']:7.1f}  "
+                f"p99 {payload[f'fg_p99_{phase}']:7.1f}  "
+                f"({payload[f'fg_{phase}_requests']} requests)"
+            )
+        for event in payload["events"]:
+            where = (
+                f"node {event['node']}" if event["node"] is not None
+                else f"link {tuple(event['link'])}"
+            )
+            timeline = f"@t={event['t_fault']}"
+            if event["t_detected"] is not None:
+                timeline += f" detected +{event['t_detected'] - event['t_fault']}"
+            if event["t_repaired"] is not None:
+                timeline += f", repaired +{event['t_repaired'] - event['t_fault']}"
+            if event["t_recovered"] is not None:
+                timeline += f", recovered +{event['t_recovered'] - event['t_fault']}"
+            recovery = (
+                f"latency recovered in {event['recovery_cycles']} cyc"
+                if event["recovered"] and event["recovery_cycles"] is not None
+                else ("nothing to recover" if event["recovered"]
+                      else "not recovered in horizon")
+            )
+            print(f"  {event['kind']:10s} {where:16s} {timeline}, "
+                  f"peak {event['peak_ratio']:.2f}x baseline, {recovery}")
+
+
+def _cmd_faults(args) -> int:
+    """Resilience sweep: fault rate x detection timeout x topology."""
+    from repro.experiments import ExperimentSpec, ParallelRunner, ResultCache
+    from repro.experiments.report import sweep_table, write_result_json
+
+    fault_rates = _split(args.fault_rates, float)
+    timeouts = _split(args.detection_timeouts, int)
+    base_params = {
+        "warmup": args.warmup,
+        "measure": args.measure,
+        "drain_limit": args.drain_limit,
+        "schedule": args.schedule,
+        "kinds": tuple(_split(args.kinds)),
+        "footprint_pages": args.footprint_pages,
+        "mirrored": not args.no_mirror,
+        "retransmit_timeout": args.retransmit_timeout,
+        "max_retries": args.max_retries,
+    }
+    topology_params = {}
+    if args.ports is not None:
+        topology_params["ports"] = args.ports
+    specs = []
+    # A single-crash schedule ignores the arrival rate, so it gets one
+    # variant per detection timeout — and the unused rate stays out of
+    # the spec name *and* sim_params, or identical crash runs would
+    # hash to different cache keys.
+    rates_axis = fault_rates if args.schedule == "random" else [None]
+    for fault_rate in rates_axis:
+        for timeout in timeouts:
+            variant = {"detection_timeout": timeout}
+            name = f"cli-faults-dt{timeout}"
+            if fault_rate is not None:
+                variant["fault_rate"] = fault_rate
+                name = f"cli-faults-fr{fault_rate:g}-dt{timeout}"
+            specs.append(ExperimentSpec(
+                name=name,
+                kind="faults",
+                designs=_split(args.designs),
+                nodes=_split(args.nodes, int),
+                patterns=(args.pattern,),
+                rates=_split(args.rates, float),
+                seeds=_split(args.seeds, int),
+                topology_seed=args.topology_seed,
+                sim_params={**base_params, **variant},
+                topology_params=topology_params,
+            ))
+
+    cache = (
+        None if args.no_cache else ResultCache(_resolve_cache_dir(args.cache_dir))
+    )
+    runner = ParallelRunner(workers=args.workers, cache=cache)
+    all_payloads: dict[str, dict] = {}
+    by_design: dict[str, list[dict]] = {}
+    for spec in specs:
+        result = runner.run(spec)
+        print(f"\n== {spec.name} [{spec.spec_hash()}]: {result.summary()}")
+        print(sweep_table(result))
+        _faults_report(result)
+        for task, payload in result:
+            all_payloads[task.key()] = {
+                "task": task.to_dict(), "payload": payload,
+            }
+            if not payload.get("unsupported"):
+                by_design.setdefault(task.design, []).append(payload)
+    if len(by_design) > 1:
+        print("\nresilience comparison (worst grid point per design):")
+        for design, payloads in sorted(by_design.items()):
+            print(
+                f"  {design:>9s}: worst during-fault p99 "
+                f"{max(p['fg_p99_during'] for p in payloads):6.0f} cyc, "
+                f"lost {sum(p['lost'] for p in payloads):4d} pkts, "
+                f"unreachable {sum(p['unreachable_node_cycles'] for p in payloads):6d} "
+                f"node-cycles over {sum(p['num_faults'] for p in payloads)} faults"
+            )
+    if cache is not None:
+        print(f"cache: {cache.directory}")
+    if args.output:
+        path = write_result_json(args.output, all_payloads)
+        print(f"payloads: {path}")
+    return 0
+
+
 def _cmd_perf(args) -> int:
     """Simulator-throughput sweep (always uncached: timings are live)."""
     from repro.experiments import ExperimentSpec, ParallelRunner
@@ -601,6 +798,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "churn": _cmd_churn,
     "migrate": _cmd_migrate,
+    "faults": _cmd_faults,
     "perf": _cmd_perf,
 }
 

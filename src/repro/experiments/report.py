@@ -94,6 +94,19 @@ def _row(task: ExperimentTask, payload: dict[str, Any]) -> list[str]:
                 )
             ),
         ]
+    if task.kind == "faults":
+        return [
+            task.design, task.nodes, f"{task.rate:g}", task.seed,
+            _fmt(None if unsupported else payload.get("num_faults")),
+            _fmt(None if unsupported else payload.get("lost")),
+            _fmt(None if unsupported else payload.get("retransmits")),
+            _fmt(None if unsupported else payload.get("fg_p50_during"), ".0f"),
+            _fmt(None if unsupported else payload.get("fg_p99_during"), ".0f"),
+            _fmt(None if unsupported else payload.get("fg_slowdown_p99")),
+            _fmt(None if unsupported else payload.get("unreachable_node_cycles")),
+            _fmt(None if unsupported else payload.get("pages_lost")),
+            _fmt(None if unsupported else payload.get("all_conserved")),
+        ]
     if task.kind == "perf":
         return [
             task.design, task.nodes, task.pattern, f"{task.rate:g}", task.seed,
@@ -125,6 +138,9 @@ _HEADERS = {
               "avg_lat", "peak_ratio", "recov_cyc", "parked", "conserved"],
     "migration": ["design", "N", "rate", "seed", "mode", "pages", "KiB",
                   "makespan", "fg_p99", "slow_p99", "stalled", "conserved"],
+    "faults": ["design", "N", "rate", "seed", "faults", "lost", "retx",
+               "p50_dur", "p99_dur", "slow_p99", "unreach_cyc", "pg_lost",
+               "conserved"],
     "perf": ["design", "N", "pattern", "rate", "seed", "events",
              "wall_s", "events/s", "delivered", "avg_lat"],
 }

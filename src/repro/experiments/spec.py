@@ -38,6 +38,15 @@ Four task kinds cover the benchmark harness:
     ``footprint_pages`` ...) ride in ``sim_params``.  Grid axes match
     ``churn`` (the ``patterns`` axis is accepted but unused — the
     foreground address stream is uniform over the page footprint).
+``faults``
+    One :func:`repro.workloads.faults.run_faults` unplanned-failure
+    scenario (link flaps/failures, node hangs/crashes with
+    timeout-based detection, emergency reroute, and crash recovery);
+    fault knobs (``fault_rate``, ``detection_timeout``, ``schedule``,
+    ``mirrored``, ``footprint_pages`` ...) ride in ``sim_params``.
+    Grid axes match ``synthetic`` — and unlike ``churn``/``migration``
+    the designs axis spans the baselines too (SF vs DM vs Jellyfish is
+    the paper's resilience comparison).
 ``perf``
     One simulator-throughput measurement: a synthetic run whose
     payload reports events processed, wall-clock seconds and
@@ -63,7 +72,7 @@ __all__ = ["TASK_KINDS", "ExperimentSpec", "ExperimentTask", "freeze_params"]
 
 TASK_KINDS = (
     "synthetic", "saturation", "workload", "path_stats", "churn", "migration",
-    "perf",
+    "faults", "perf",
 )
 
 #: Bump when task semantics change so stale cache entries are ignored.
@@ -217,7 +226,7 @@ class ExperimentSpec:
         if self.kind == "workload" and not self.workloads:
             raise ValueError("workload specs need at least one workload")
         if (
-            self.kind in ("synthetic", "churn", "migration", "perf")
+            self.kind in ("synthetic", "churn", "migration", "faults", "perf")
             and not self.rates
         ):
             raise ValueError(f"{self.kind} specs need at least one rate")
@@ -225,7 +234,10 @@ class ExperimentSpec:
             if not getattr(self, axis):
                 raise ValueError(f"spec {self.name!r} has an empty {axis} axis")
         if (
-            self.kind in ("synthetic", "saturation", "churn", "migration", "perf")
+            self.kind in (
+                "synthetic", "saturation", "churn", "migration", "faults",
+                "perf",
+            )
             and not self.patterns
         ):
             raise ValueError(f"spec {self.name!r} has an empty patterns axis")
@@ -250,7 +262,7 @@ class ExperimentSpec:
             topology_params=topo,
         )
         out: list[ExperimentTask] = []
-        if self.kind in ("synthetic", "churn", "migration", "perf"):
+        if self.kind in ("synthetic", "churn", "migration", "faults", "perf"):
             for design in self.designs:
                 for n in self.nodes:
                     for pattern in self.patterns:

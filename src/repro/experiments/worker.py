@@ -300,6 +300,76 @@ def _run_migration(task: ExperimentTask) -> dict[str, Any]:
     return payload
 
 
+def _run_faults(task: ExperimentTask) -> dict[str, Any]:
+    """One unplanned-failure scenario under synthetic traffic.
+
+    Faults mutate the topology (crash excision), routing tables, and —
+    with a page layer — the data placement, so everything is built
+    *fresh* per task (never through the per-process memos).  The run is
+    a pure function of the task fields: fault times, victims, detection
+    actions, and recovery transfers all derive from the task seeds, so
+    caching and parallel execution stay sound.
+
+    Unlike ``churn``/``migration``, the designs axis spans the
+    baselines: DM and Jellyfish repair by global routing recompute, the
+    paper's comparison point for String Figure's local table repair.
+    """
+    from repro.core.topology import StringFigureTopology
+    from repro.topologies.registry import make_topology
+    from repro.workloads.faults import run_faults
+
+    kwargs = dict(task.topology_params)
+    ports = kwargs.pop("ports", None)
+    try:
+        topo = make_topology(
+            task.design, task.nodes, seed=task.topology_seed, ports=ports,
+            **kwargs,
+        )
+    except ValueError as exc:
+        return {"unsupported": True, "error": str(exc)}
+    if isinstance(topo, StringFigureTopology) and not topo.with_shortcuts:
+        return {
+            "unsupported": True,
+            "error": (
+                f"fault recovery requires shortcut wires; "
+                f"{task.design} has none"
+            ),
+        }
+
+    warmup = task.sim("warmup", 300)
+    measure = task.sim("measure", 4000)
+    kinds = task.sim("kinds")
+    result = run_faults(
+        topo,
+        pattern=task.pattern,
+        rate=task.rate,
+        schedule=task.sim("schedule", "random"),
+        fault_rate=task.sim("fault_rate", 0.001),
+        kinds=tuple(kinds) if kinds else ("link_down", "link_flap",
+                                          "node_crash", "node_hang"),
+        flap_cycles=task.sim("flap_cycles", 300),
+        hang_cycles=task.sim("hang_cycles", 500),
+        max_crashes=task.sim("max_crashes", 1),
+        crash_at=task.sim("crash_at"),
+        detection_timeout=task.sim("detection_timeout", 200),
+        retransmit_timeout=task.sim("retransmit_timeout", 64),
+        max_retries=task.sim("max_retries", 8),
+        footprint_pages=task.sim("footprint_pages", 0),
+        page_bytes=task.sim("page_bytes", 4096),
+        mirrored=bool(task.sim("mirrored", True)),
+        mig_rate_limit=task.sim("mig_rate_limit", 64.0),
+        warmup=warmup,
+        measure=measure,
+        drain_limit=task.sim("drain_limit", 60_000),
+        seed=task.seed,
+        payload_bytes=task.sim("payload_bytes", 64),
+        window_cycles=task.sim("window", 200),
+    )
+    payload = result.payload()
+    payload["radix"] = _radix_of(topo)
+    return payload
+
+
 def _run_perf(task: ExperimentTask) -> dict[str, Any]:
     """One simulator-throughput measurement (the perf trajectory).
 
@@ -411,5 +481,6 @@ _RUNNERS = {
     "path_stats": _run_path_stats,
     "churn": _run_churn,
     "migration": _run_migration,
+    "faults": _run_faults,
     "perf": _run_perf,
 }

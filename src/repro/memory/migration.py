@@ -81,6 +81,12 @@ class PageDirectory:
         self._owner: dict[int, int] = {}
         self._inflight: dict[int, tuple[int, int]] = {}
         self._waiters: dict[int, list[Callable[[int], None]]] = {}
+        #: Pages destroyed by an unplanned failure (node crash with no
+        #: surviving replica).  A lost page has no owner and no state;
+        #: it is the one exception to the one-place invariant, and it is
+        #: accounted explicitly so ``populated == resident + in_flight +
+        #: lost`` stays checkable.
+        self.lost: list[int] = []
 
     def populate(self, mapper: AddressMapper, num_pages: int) -> None:
         """Seed residency for pages ``0..num_pages-1`` from *mapper*."""
@@ -122,14 +128,18 @@ class PageDirectory:
         """How a request for *page* arriving at *node* must be handled.
 
         Returns ``("serve", node)``, ``("stall", node)`` (the page is
-        inbound here — wait for it via :meth:`when_landed`), or
+        inbound here — wait for it via :meth:`when_landed`),
         ``("forward", target)`` (the page lives elsewhere — one more
-        network trip).
+        network trip), or ``("lost", -1)`` — the page was destroyed by
+        an unrecovered node crash, so the request must fail upward
+        (there is no node that could ever serve it).
         """
         pair = self._inflight.get(page)
         if pair is not None:
             return ("stall", node) if node == pair[1] else ("forward", pair[1])
-        owner = self._owner[page]
+        owner = self._owner.get(page)
+        if owner is None:
+            return ("lost", -1)
         return ("serve", node) if node == owner else ("forward", owner)
 
     def when_landed(self, page: int, callback: Callable[[int], None]) -> None:
@@ -160,11 +170,36 @@ class PageDirectory:
             raise RuntimeError(f"page {page} is in flight; cannot teleport")
         self._owner[page] = dst
 
+    def drop_page(self, page: int) -> None:
+        """Destroy a page (node crash with no replica to recover from).
+
+        The page leaves the residency table and joins :attr:`lost`; a
+        page mid-migration cannot be dropped this way (its source copy
+        is the owner — crash handling must rule on the in-flight pair
+        first).
+        """
+        if page in self._inflight:
+            raise RuntimeError(
+                f"page {page} is in flight; crash recovery must resolve "
+                "the transfer before ruling it lost"
+            )
+        if page not in self._owner:
+            raise ValueError(f"page {page} is not present")
+        del self._owner[page]
+        self.lost.append(page)
+
     def check_conservation(self) -> bool:
-        """Every page in exactly one place; waiters only on in-flight."""
+        """Every page in exactly one place; waiters only on in-flight.
+
+        Lost pages are excluded from the one-place rule (they are
+        nowhere, by definition) but must never overlap the residency
+        or in-flight tables.
+        """
         if not set(self._inflight) <= set(self._owner):
             return False
         if not set(self._waiters) <= set(self._inflight):
+            return False
+        if set(self.lost) & set(self._owner):
             return False
         return all(
             self._owner[p] == src for p, (src, _dst) in self._inflight.items()
@@ -359,15 +394,22 @@ class MigrationEngine:
 
     # -- batch machinery ----------------------------------------------------
 
-    def _retarget(
+    def transfer(
         self,
-        new_mapper: AddressMapper,
+        moves: list[tuple[int, int, int]],
         kind: str,
         nodes,
-        on_done: Callable[[int], None] | None,
+        on_done: Callable[[int], None] | None = None,
     ) -> MigrationRecord:
-        old_mapper, self.mapper = self.mapper, new_mapper
-        moves = migration_delta(old_mapper, new_mapper, self.directory.pages)
+        """Stream an explicit list of ``(page, src, dst)`` moves.
+
+        Each source must be the page's current directory owner.  This
+        is the batch machinery behind :meth:`migrate_out` /
+        :meth:`migrate_in` exposed directly, so callers that compute
+        placement outside the mapper-delta path — fault recovery
+        reconstructing a crashed node's pages from their surviving
+        replicas — pay the same rate-limited network cost.
+        """
         now = self.sim.now
         record = MigrationRecord(
             kind=kind,
@@ -388,9 +430,22 @@ class MigrationEngine:
             if on_done is not None:
                 self.sim.schedule(now, on_done)
             return record
-        self._queue.append(_Batch(moves=moves, record=record, on_done=on_done))
+        self._queue.append(
+            _Batch(moves=list(moves), record=record, on_done=on_done)
+        )
         self._start_next_batch(now)
         return record
+
+    def _retarget(
+        self,
+        new_mapper: AddressMapper,
+        kind: str,
+        nodes,
+        on_done: Callable[[int], None] | None,
+    ) -> MigrationRecord:
+        old_mapper, self.mapper = self.mapper, new_mapper
+        moves = migration_delta(old_mapper, new_mapper, self.directory.pages)
+        return self.transfer(moves, kind, nodes, on_done)
 
     def _start_next_batch(self, now: int) -> None:
         if self._current is not None or not self._queue:

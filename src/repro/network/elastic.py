@@ -183,6 +183,10 @@ class LiveReconfigurator:
         self.migrator = migrator
 
         self.events: list[LiveReconfigEvent] = []
+        #: Callbacks run (with the completed LiveReconfigEvent) at the
+        #: end of every operation — e.g. fault recovery chaining a page
+        #: reconstruction after an emergency unmount.
+        self.on_complete: list = []
         self._queue: deque[tuple[str, tuple[int, ...]]] = deque()
         self._busy = False
         self._unstable: set[int] = set()
@@ -462,6 +466,8 @@ class LiveReconfigurator:
             # on this — repatriation is pure background work).
             event.migration = self.migrator.migrate_in(event.nodes)
         self.events.append(event)
+        for callback in self.on_complete:
+            callback(event)
         self._busy = False
         self._start_next(now)
 

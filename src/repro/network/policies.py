@@ -277,9 +277,23 @@ class MinimalPolicy(RoutingPolicy):
             for node in nodes
         }
         # Minimal candidate sets are a pure function of the static
-        # distance matrix, so they are memoized per (current, dst) —
-        # the adaptive port_load choice stays dynamic on top.
-        self._cand_cache: dict[tuple[int, int], list[int]] = {}
+        # distance matrix, so they are filled lazily *per destination*:
+        # the first packet toward a destination runs one vectorized
+        # comparison over the flat adjacency below (the DM cold-path
+        # hot spot), and each router's candidate list then materializes
+        # from two array slices on its first visit.
+        counts = [len(self._neighbors[node]) for node in nodes]
+        ptr = [0] * (n + 1)
+        for i, c in enumerate(counts):
+            ptr[i + 1] = ptr[i] + c
+        self._nbr_ptr = ptr  # plain list: scalar access on the hot path
+        self._nbr_flat_ids = [w for node in nodes for w in self._neighbors[node]]
+        self._nbr_flat_idx = np.array(
+            [self._index[w] for w in self._nbr_flat_ids], dtype=np.int64
+        )
+        self._nbr_row_idx = np.repeat(np.arange(n, dtype=np.int64), counts)
+        #: dst -> (flat progress mask as a list, {router -> candidates}).
+        self._dst_cand: dict[int, tuple] = {}
 
     def distance(self, src: int, dst: int) -> int:
         """Shortest-path distance between two nodes."""
@@ -296,14 +310,45 @@ class MinimalPolicy(RoutingPolicy):
             result.sort(key=lambda w: (self.preference(current, dst, w), w))
         return result
 
+    def _fill_destination(self, dst: int):
+        """Progress mask of *every* adjacency toward *dst*, one numpy pass.
+
+        The heavy part of a cold candidate computation — comparing each
+        neighbor's distance-to-dst against its router's own — runs once
+        per destination, vectorized over the whole flat adjacency, and
+        lands as a plain bool list.  Per-router candidate *lists* then
+        materialize lazily on first visit from a pure-python slice (a
+        short sweep touches a sparse subset of routers per destination,
+        so eager list building would dominate at scale, and per-pair
+        numpy fancy indexing costs more than it saves at radix 4-8).
+        Matches :meth:`candidates` element-for-element: the flat
+        adjacency preserves the sorted-neighbor order, so the refactor
+        cannot change any forwarding decision.
+        """
+        dcol = self._dist[:, self._index[dst]]
+        mask = dcol[self._nbr_flat_idx] < dcol[self._nbr_row_idx]
+        entry = (mask.tolist(), {})
+        self._dst_cand[dst] = entry
+        return entry
+
     def forward(
         self, current: int, packet: Packet, port_load: PortLoad, first_hop: bool
     ) -> int:
-        key = (current, packet.dst)
-        options = self._cand_cache.get(key)
+        dst = packet.dst
+        entry = self._dst_cand.get(dst)
+        if entry is None:
+            entry = self._fill_destination(dst)
+        mask, per_node = entry
+        options = per_node.get(current)
         if options is None:
-            options = self.candidates(current, packet.dst)
-            self._cand_cache[key] = options
+            ptr = self._nbr_ptr
+            i = self._index[current]
+            lo, hi = ptr[i], ptr[i + 1]
+            flat = self._nbr_flat_ids
+            options = [flat[j] for j in range(lo, hi) if mask[j]]
+            if self.preference is not None:
+                options.sort(key=lambda w: (self.preference(current, dst, w), w))
+            per_node[current] = options
         primary = options[0]
         if not self.adaptive or len(options) == 1:
             return primary
@@ -317,7 +362,7 @@ class MinimalPolicy(RoutingPolicy):
         return 0 if src <= dst else 1
 
     def on_reconfigure(self) -> None:
-        self._cand_cache.clear()
+        self._dst_cand.clear()
 
     def route_length(self, src: int, dst: int) -> int:
         """Hop count of the (minimal) route — equals graph distance."""

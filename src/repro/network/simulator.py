@@ -68,7 +68,8 @@ class _OutPort:
 
     __slots__ = ("u", "v", "queues", "credits", "count", "active_tx",
                  "channels", "rr", "wake_at", "stall_armed", "reserve_debt",
-                 "stall_failures", "lat", "cap")
+                 "stall_failures", "lat", "cap", "saved_channels",
+                 "drop_pids")
 
     def __init__(self, u: int, v: int, num_vcs: int, channels: int,
                  credits_per_vc: int, lat: int, cap: int) -> None:
@@ -79,6 +80,12 @@ class _OutPort:
         self.count = 0  # queued packets across all VCs (occupancy)
         self.active_tx = 0
         self.channels = channels
+        # Fault support: a frozen/failed link parks its real channel
+        # count here and runs with channels == 0 (so the hot path needs
+        # no extra state test); packets that were mid-wire when the
+        # link failed are listed in drop_pids and dropped on arrival.
+        self.saved_channels: int | None = None
+        self.drop_pids: set[int] | None = None
         self.rr = 0
         self.wake_at: int | None = None
         self.stall_armed = False
@@ -143,9 +150,13 @@ class NetworkSimulator:
         self._ports: dict[int, _OutPort] = {}
         self._link_latency_fn = link_latency
         self._on_delivery: list[Callable[[Packet, int], None]] = []
+        self._on_drop: list[Callable[[Packet, int], None]] = []
         self._arrival_hook: (
             Callable[[int, Packet, object, bool], bool] | None
         ) = None
+        #: Installed fault layer (repro.faults); None keeps the arrival
+        #: hot path free of fault checks beyond a single identity test.
+        self._fault_layer = None
         n = self._n
         #: packets in the network destined to each node (O(1) inflight_to).
         self._dst_inflight: list[int] = [0] * n
@@ -241,6 +252,110 @@ class NetworkSimulator:
         if not isinstance(link, _OutPort):
             link = self._ports[link[0] * self._n + link[1]]
         self._release_credit(link, vc)
+
+    # -- fault support -----------------------------------------------------
+
+    def install_fault_layer(self, layer) -> None:
+        """Attach a :class:`repro.faults.FaultLayer` (or None to detach).
+
+        The layer's ``intercept(node, packet, from_link, first_hop)``
+        runs at the head of every arrival (before delivery and before
+        the reconfiguration arrival hook) and may drop or park the
+        packet.  Without a layer the arrival path pays exactly one
+        ``is None`` test, keeping no-fault runs bit-identical and fast.
+        """
+        self._fault_layer = layer
+
+    def on_drop(self, callback: Callable[[Packet, int], None]) -> None:
+        """Register ``callback(packet, time)`` to run at each drop."""
+        self._on_drop.append(callback)
+
+    def drop_packet(self, packet: Packet, from_link=None) -> None:
+        """Remove *packet* from the network without delivering it.
+
+        The loss is counted in ``stats.dropped`` (making the checkable
+        conservation law ``sent == delivered + dropped``), the packet's
+        destined-in-flight slot is released, its inbound-link credit
+        (if any) returns upstream, and drop callbacks — e.g. a
+        retransmission queue — fire.  Only fault machinery calls this;
+        plain simulation never drops.
+        """
+        stats = self.stats
+        stats.dropped += 1
+        dst = packet.dst
+        remaining = self._dst_inflight[dst] - 1
+        if remaining < 0:
+            raise RuntimeError(
+                f"destined-in-flight counter for node {dst} went negative "
+                "on drop (double drop? dropping a delivered packet?)"
+            )
+        self._dst_inflight[dst] = remaining
+        if from_link is not None:
+            self._release_credit(from_link, packet.vc)
+        for callback in self._on_drop:
+            callback(packet, self.now)
+
+    def freeze_link(self, u: int, v: int) -> None:
+        """Stop transmissions on directed link ``u -> v`` (no loss).
+
+        Queued packets stay queued (their buffers are at the upstream
+        router and survive); packets already on the wire arrive
+        normally.  Implemented by parking the channel count at zero, so
+        ``_try_send`` refuses without any new hot-path state test.
+        Models a hung downstream router: link-level flow control stops,
+        backpressure spreads.
+        """
+        port = self._port(u, v)
+        if port.saved_channels is None:
+            port.saved_channels = port.channels
+            port.channels = 0
+
+    def restore_link(self, u: int, v: int) -> None:
+        """Re-enable a frozen/failed link and resume its queue."""
+        port = self._ports.get(u * self._n + v)
+        if port is None or port.saved_channels is None:
+            return
+        port.channels = port.saved_channels
+        port.saved_channels = None
+        if port.count and port.active_tx < port.channels:
+            self._try_send(port)
+
+    def fail_links(self, pairs) -> int:
+        """Hard-fail the directed links *pairs*: freeze them and doom
+        the packets currently mid-wire on them.
+
+        The mid-wire packets' arrival events cannot be pulled out of
+        the heap, so their pids are recorded on their port and the
+        fault layer drops them when they fire — exactly the packets
+        that were in flight across the failed links, no more.  Returns
+        how many were doomed.  Queued packets are left for the detector
+        to sweep (:meth:`take_queued`) once the failure is noticed.
+        The heap is scanned *once* for the whole batch, so a node crash
+        (2 x degree directed links) costs one pass, not 2 x degree.
+        """
+        ports = set()
+        n = self._n
+        for u, v in pairs:
+            self.freeze_link(u, v)
+            port = self._ports[u * n + v]
+            if port.drop_pids is None:
+                port.drop_pids = set()
+            ports.add(port)
+        count = 0
+        for _time, _seq, code, _a, b in self._heap:
+            if code == _ARRIVE and b is not None and b[1] in ports:
+                b[1].drop_pids.add(b[0].pid)
+                count += 1
+        return count
+
+    def fail_link(self, u: int, v: int) -> int:
+        """Hard-fail one directed link (see :meth:`fail_links`)."""
+        return self.fail_links(((u, v),))
+
+    def link_frozen(self, u: int, v: int) -> bool:
+        """Whether directed link ``u -> v`` is currently frozen/failed."""
+        port = self._ports.get(u * self._n + v)
+        return port is not None and port.saved_channels is not None
 
     # -- reconfiguration support -------------------------------------------
 
@@ -361,6 +476,9 @@ class NetworkSimulator:
     def _process_arrival(self, node: int, payload) -> None:
         packet, from_link, first_hop = payload
         self._pending_arrive[node] -= 1
+        fault = self._fault_layer
+        if fault is not None and fault.intercept(node, packet, from_link, first_hop):
+            return  # dropped (lost) or parked at a hung node
         if node == packet.dst:
             self._deliver(node, packet, from_link)
             return
@@ -399,6 +517,8 @@ class NetworkSimulator:
     def _try_send(self, port: _OutPort) -> None:
         if port.active_tx >= port.channels:
             return  # the LINK_FREE event will retry
+        if not port.count:
+            return  # nothing queued on any VC: skip the scan entirely
         now = self.now
         queues = port.queues
         credits = port.credits
@@ -440,9 +560,13 @@ class NetworkSimulator:
         port.count -= 1
         port.rr = chosen_vc + 1 if chosen_vc + 1 < num_vcs else 0
         credits[chosen_vc] -= 1
+        # Claim the channel *before* releasing the inbound credit: the
+        # release can cascade through a blocked cycle back into this
+        # port, and a re-entrant _try_send seeing the stale active_tx
+        # would drive a second packet onto a single-channel wire.
+        port.active_tx += 1
         if from_link is not None:
             self._release_credit(from_link, packet.vc)
-        port.active_tx += 1
         tail = now + packet.size_flits
         packet.hops += 1
         bits = self._bits_cache.get(packet.payload_bytes)

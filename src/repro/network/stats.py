@@ -122,12 +122,16 @@ class SimStats:
     window) contribute to latency/hop statistics; energy counts all
     traffic, since power is a whole-run property.  ``sent`` counts every
     packet handed to the simulator (measured or not), so conservation
-    can be checked at any time: ``sent == delivered + in-flight``.
+    can be checked at any time: ``sent == delivered + dropped +
+    in-flight``.  ``dropped`` stays zero outside fault-injection runs —
+    plain simulation never loses a packet — so the familiar
+    ``sent == delivered`` invariant is unchanged there.
     """
 
     sent: int = 0
     injected: int = 0
     delivered: int = 0
+    dropped: int = 0
     measured_delivered: int = 0
     flit_hops: int = 0
     bit_hops: float = 0.0
@@ -179,8 +183,8 @@ class SimStats:
 
     @property
     def in_flight(self) -> int:
-        """Packets sent but not yet delivered (conservation check)."""
-        return self.sent - self.delivered
+        """Packets sent but neither delivered nor dropped (conservation)."""
+        return self.sent - self.delivered - self.dropped
 
     @property
     def accepted_rate(self) -> float:

@@ -132,7 +132,11 @@ class ChurnInjector(BernoulliInjector):
     """
 
     def __init__(
-        self, *args, reconfig: LiveReconfigurator, max_redraws: int = 64, **kwargs
+        self,
+        *args,
+        reconfig: LiveReconfigurator | None,
+        max_redraws: int = 64,
+        **kwargs,
     ) -> None:
         super().__init__(*args, **kwargs)
         self.reconfig = reconfig
@@ -140,10 +144,21 @@ class ChurnInjector(BernoulliInjector):
         self.skipped_sources = 0
         self.redraws = 0
 
+    # Availability predicates — subclasses override these to track a
+    # different notion of "usable" (e.g. the fault subsystem's
+    # physical-vs-detected knowledge) without re-implementing the
+    # injection loop.
+
+    def _usable_source(self, node: int) -> bool:
+        return self.reconfig is None or self.reconfig.usable(node)
+
+    def _usable_dest(self, node: int) -> bool:
+        return self.reconfig is None or self.reconfig.usable(node)
+
     def _draw_destination(self, node: int, rng) -> int | None:
         for _ in range(self.max_redraws):
             dst = self.pattern.destination(node, rng)
-            if dst != node and self.reconfig.usable(dst):
+            if dst != node and self._usable_dest(dst):
                 return dst
             self.redraws += 1
         return None
@@ -154,7 +169,7 @@ class ChurnInjector(BernoulliInjector):
             return
 
         def fire(current_time: int, node=node, rng=rng) -> None:
-            if self.reconfig.usable(node):
+            if self._usable_source(node):
                 dst = self._draw_destination(node, rng)
                 if dst is not None:
                     from repro.network.packet import Packet, PacketKind

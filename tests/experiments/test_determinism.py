@@ -92,6 +92,38 @@ def test_workload_replay_deterministic_across_workers():
         assert parallel.payload(task) == payload, task.label()
 
 
+def test_faults_sweep_deterministic_across_workers():
+    """Unplanned failures are still a pure function of the task.
+
+    Fault times, victim picks, detection actions, retransmissions, and
+    crash recovery all derive from the task seeds, so a faults sweep
+    must produce bit-identical payloads at any worker count — and the
+    loss-conservation law must hold at every grid point.
+    """
+    spec = ExperimentSpec(
+        name="determinism-faults",
+        kind="faults",
+        designs=("SF", "DM"),
+        nodes=(32,),
+        patterns=("uniform_random",),
+        rates=(0.08,),
+        seeds=(2, 5),
+        topology_seed=4,
+        sim_params={"warmup": 150, "measure": 2000, "drain_limit": 30_000,
+                    "fault_rate": 0.003, "footprint_pages": 32,
+                    "detection_timeout": 150},
+    )
+    serial = ParallelRunner(workers=1).run(spec)
+    parallel = ParallelRunner(workers=4).run(spec)
+    assert [t.key() for t in serial.tasks] == [t.key() for t in parallel.tasks]
+    for task, payload in serial:
+        assert parallel.payload(task) == payload, task.label()
+        assert payload["sent"] == payload["delivered"] + payload["lost"], (
+            task.label()
+        )
+        assert payload["page_conservation"], task.label()
+
+
 def test_migration_sweep_deterministic_across_workers():
     """Data migration is still a pure function of the task.
 

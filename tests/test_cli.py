@@ -27,6 +27,7 @@ class TestParser:
             ["sweep", "--designs", "SF,DM", "--rates", "0.1,0.2"],
             ["churn", "--nodes", "64", "--gate-fraction", "0.25"],
             ["migrate", "--nodes", "64", "--gate-fraction", "0.25"],
+            ["faults", "--nodes", "64", "--schedule", "crash"],
             ["perf", "--designs", "SF,DM", "--nodes", "36", "--repeats", "1"],
         ):
             assert parser.parse_args(argv) is not None
@@ -54,6 +55,14 @@ class TestParser:
         assert args.designs == "SF,DM,Jellyfish"
         assert args.rates == "0.05"
         assert args.repeats == 2
+
+    def test_faults_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.designs == "SF,DM,Jellyfish"
+        assert args.schedule == "random"
+        assert args.detection_timeouts == "200"
+        assert not args.no_mirror
+        assert args.workers == 1
 
 
 class TestCommands:
@@ -204,6 +213,42 @@ class TestSweep:
         out = capsys.readouterr().out
         assert "teleport" in out
         assert "migrate vs teleport" not in out
+
+    def test_faults_runs_and_caches(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        args = [
+            "faults", "--designs", "SF", "--nodes", "32",
+            "--schedule", "crash", "--rates", "0.08",
+            "--footprint-pages", "32", "--warmup", "150",
+            "--measure", "2500", "--drain-limit", "30000",
+            "--cache-dir", cache_dir,
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "conserved" in out
+        assert "conservation ok" in out
+        assert "node_crash" in out
+        assert "recovered" in out
+        for phase in ("baseline", "during", "after"):
+            assert phase in out
+        # Second run: served from the cache, same report.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "1 cache hits, 0 simulated" in out
+        assert "conservation ok" in out
+
+    def test_faults_multi_design_comparison(self, capsys, tmp_path):
+        args = [
+            "faults", "--designs", "SF,DM", "--nodes", "32",
+            "--rates", "0.08", "--footprint-pages", "0",
+            "--warmup", "150", "--measure", "2000",
+            "--drain-limit", "20000",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "resilience comparison" in out
+        assert "worst during-fault p99" in out
 
     def test_sweep_from_spec_file(self, capsys, tmp_path):
         from repro.experiments import ExperimentSpec
