@@ -300,6 +300,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="timing repetitions per point (the best is reported)",
     )
     perf.add_argument(
+        "--isolate", action="store_true",
+        help="one pinned worker per core, serial timing inside each "
+             "worker (scales the grid without timing interference)",
+    )
+    perf.add_argument(
+        "--eager-link-events", action="store_true",
+        help="time the eager LINK_FREE core instead of the default "
+             "lazy one (differential benchmarking)",
+    )
+    perf.add_argument(
         "--output", default=None, metavar="FILE",
         help="also dump raw task payloads as JSON",
     )
@@ -769,12 +779,19 @@ def _cmd_perf(args) -> int:
             "measure": args.measure,
             "drain_limit": args.drain_limit,
             "repeats": args.repeats,
+            "eager_link_events": bool(args.eager_link_events),
         },
     )
-    # Serial + cacheless by construction: wall-clock timings must never
-    # be served from cache, and concurrently timed points would steal
-    # each other's cycles.
-    runner = ParallelRunner(workers=1, cache=None)
+    # Cacheless by construction: wall-clock timings must never be
+    # served from cache.  Default execution is serial — concurrently
+    # timed points would steal each other's cycles — while --isolate
+    # runs one affinity-pinned worker per core (tasks inside each
+    # worker still time serially), so large grids finish in parallel
+    # without sharing cores.
+    if args.isolate:
+        runner = ParallelRunner(workers=0, cache=None, isolate=True)
+    else:
+        runner = ParallelRunner(workers=1, cache=None)
     result = runner.run(spec)
     print(sweep_table(result))
     print(f"\n{spec.name} [{spec.spec_hash()}]: {result.summary()}")

@@ -198,6 +198,14 @@ class GreediestRouting:
 
     num_vcs = 2
 
+    #: Per-router decision tables materialize only below this node
+    #: count: the shared pairwise MD matrix is O(N^2) floats (a 10k-node
+    #: network would need ~800 MB), and a cold sweep touches too few
+    #: (router, dst) pairs per router to amortize an (m, N) kernel pass
+    #: at that scale.  Above the gate every lookup takes the scalar
+    #: path, which stays bit-identical by construction.
+    kernel_max_nodes = 4096
+
     def __init__(
         self,
         topology: StringFigureTopology,
@@ -216,6 +224,15 @@ class GreediestRouting:
             [topology.coords.vector(v) for v in range(topology.num_nodes)],
             dtype=np.float64,
         )
+        #: Pairwise MD matrix shared by every router's decision table;
+        #: a pure function of node coordinates, so it survives table
+        #: rebuilds (reconfiguration flips table bits, never coords).
+        self._md_matrix: np.ndarray | None = None
+        #: node -> (next, commit, valid) lists, or False when the
+        #: kernel is disabled for that router (empty window / size
+        #: gate).  Dropped whenever ``version`` moves.
+        self._kernel_tables: dict[int, tuple | bool] = {}
+        self._kernel_version = -1
         self.rebuild()
 
     # -- table management -----------------------------------------------------
@@ -294,6 +311,100 @@ class GreediestRouting:
             wrap = np.subtract(1.0, d, out=view.scratch2)
             np.minimum(d, wrap, out=d)
         return d.min(axis=1, out=view.md_out)
+
+    # -- per-router decision-table kernels -------------------------------------
+
+    def _full_md_matrix(self) -> np.ndarray:
+        """``M[a, b]`` = MD from node *a* to node *b*, built once.
+
+        Elementwise operations match :meth:`_md_array` exactly
+        (subtract, mod / abs + wrap-minimum, min over spaces), so every
+        entry is bit-identical to the scalar per-pair computation.
+        """
+        m = self._md_matrix
+        if m is None:
+            coords = self._coord_matrix
+            if self._uni:
+                d = (coords[None, :, :] - coords[:, None, :]) % 1.0
+            else:
+                d = np.abs(coords[:, None, :] - coords[None, :, :])
+                np.minimum(d, 1.0 - d, out=d)
+            m = np.ascontiguousarray(d.min(axis=2))
+            self._md_matrix = m
+        return m
+
+    def _build_decision_table(self, current: int) -> tuple | bool:
+        """All-destination greedy decisions of one router, vectorized.
+
+        Returns ``(next, commit, valid)`` plain lists indexed by
+        destination id (``commit`` uses ``-1`` for "no commit"), or
+        ``False`` when the kernel does not apply to this router.  A
+        destination with ``valid[dst] == False`` (no strict-progress
+        window target: the fallback ring walk) must take the scalar
+        path.  Tie-breaking matches :meth:`_greedy_choice` operation
+        for operation: first-minimum ``argmin`` over the same window
+        row order, and the ``+ inf_mask`` masked via argmin over the
+        same ascending neighbor order.
+        """
+        view = self._views.get(current)
+        if view is None or view.k == 0:
+            return False
+        n = self.topology.num_nodes
+        if n > self.kernel_max_nodes:
+            return False
+        md = self._full_md_matrix()
+        my_md = md[current]
+        nbr_md = md[view.nbr_ids]
+        every = np.arange(n)
+        if self.use_two_hop:
+            win_md = md[view.win_ids]
+            target = win_md.argmin(axis=0)
+            valid = win_md[target, every] < my_md
+            via = (nbr_md + view.inf_mask[:, target]).argmin(axis=0)
+            nxt = view.nbr_ids[via]
+            commit = np.where(
+                (view.win_hop[target] == 2) & (nbr_md[via, every] >= my_md),
+                view.win_ids[target],
+                -1,
+            )
+        else:
+            best = nbr_md.argmin(axis=0)
+            valid = nbr_md[best, every] < my_md
+            nxt = view.nbr_ids[best]
+            commit = np.full(n, -1, dtype=np.int64)
+        # Direct delivery always wins, before any window comparison.
+        for b in view.nbr_ids:
+            nxt[b] = b
+            commit[b] = -1
+            valid[b] = True
+        valid[current] = False
+        return (nxt.tolist(), commit.tolist(), valid.tolist())
+
+    def kernel_next_hop(
+        self, current: int, dst: int
+    ) -> tuple[int, int | None] | None:
+        """Plain-greedy ``(next, commit)`` from the router's decision
+        table, or ``None`` when the scalar path must run (kernel gated
+        off, or *dst* needs the fallback walk).
+
+        Tables are dropped whenever ``version`` moves, so reconfig and
+        fault-repair rebuilds invalidate them exactly like the policy
+        decision caches.
+        """
+        if self._kernel_version != self.version:
+            self._kernel_tables.clear()
+            self._kernel_version = self.version
+        table = self._kernel_tables.get(current)
+        if table is None:
+            table = self._build_decision_table(current)
+            self._kernel_tables[current] = table
+        if table is False:
+            return None
+        nxt, commit, valid = table
+        if not valid[dst]:
+            return None
+        c = commit[dst]
+        return nxt[dst], (c if c >= 0 else None)
 
     # -- forwarding ----------------------------------------------------------------
 

@@ -17,6 +17,7 @@ per-port packet counter of paper §IV-B).
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Mapping, Sequence
 
@@ -70,15 +71,71 @@ class GreedyPolicy(RoutingPolicy):
         self.num_vcs = routing.num_vcs
         self._adaptive = isinstance(routing, AdaptiveGreediestRouting)
         self._cache_enabled = cache
-        #: (current, dst) -> (next_hop, commit) for plain greedy hops.
-        self._cache: dict[tuple[int, int], tuple[int, int | None]] = {}
-        #: (current, dst) -> ranked ((score, via), ...) adaptive candidates.
-        self._cand_cache: dict[tuple[int, int], tuple] = {}
+        #: packed ``current * n + dst`` -> (next_hop, commit) for plain
+        #: greedy hops (int keys hash cheaper than tuples on this path).
+        self._cache: dict[int, tuple[int, int | None]] = {}
+        #: packed key -> ranked ((score, via), ...) adaptive candidates.
+        self._cand_cache: dict[int, tuple] = {}
+        self._key_n = routing.topology.num_nodes
         #: Routing generation the caches were filled against; a table
         #: rebuild anywhere (including *offline* reconfiguration, which
         #: never calls on_reconfigure) bumps ``routing.version`` and
         #: invalidates them on the next forward.
         self._cache_version = routing.version
+        # Integer load probes for the adaptive quick-reject (filled by
+        # attach_simulator); keyed on the simulator's stable port_load
+        # identity so any other probe falls back to the generic scan.
+        self._sim = None
+        self._probe_cb = None
+        self._probes: dict[int, list] = {}
+
+    def attach_simulator(self, sim) -> None:
+        """Bind the quick-reject scan to *sim*'s port objects.
+
+        The adaptive first-hop check — "is any output port of this
+        router loaded past the congestion threshold?" — dominates the
+        policy's cost once the decision caches are warm, and it only
+        ever compares ``min(1.0, count / cap)`` against a constant.
+        Per router, precompute each port's smallest loaded *count* (the
+        exact integer threshold, found by scanning the same float
+        predicate ``port_load`` evaluates), so the hot path is one int
+        compare per neighbor instead of a float division through a
+        callback.  Keyed on the identity of ``sim.port_load``: a
+        forward driven by any other probe (tests, another simulator
+        sharing this memoized policy) takes the generic path unchanged.
+        """
+        self._sim = sim
+        self._probe_cb = sim._port_load_cb
+        self._probes.clear()
+
+    def _router_probes(self, current: int) -> list:
+        probes = self._probes.get(current)
+        if probes is None:
+            sim = self._sim
+            threshold = self.routing.congestion_threshold
+            probes = []
+            for nbr in self.routing.usable_neighbors(current):
+                port = sim._ports.get(current * sim._n + nbr)
+                if port is None:
+                    port = sim._port(current, nbr)
+                cap = port.cap
+                # Smallest queued count the float predicate calls
+                # loaded, verified against the identical expression
+                # port_load computes so the int compare is exact.  The
+                # ceil guess can be off by one either way at float
+                # boundaries; the two adjustment loops settle it.
+                # (count can exceed cap under reserve loans, but the
+                # predicate saturates at 1.0 from cap onward, so c=cap
+                # decides every larger count too.)
+                c = min(max(int(math.ceil(threshold * cap)), 0), cap)
+                while c > 0 and min(1.0, (c - 1) / cap) >= threshold:
+                    c -= 1
+                while c <= cap and min(1.0, c / cap) < threshold:
+                    c += 1
+                loaded_min: float | int = c if c <= cap else math.inf
+                probes.append((port, loaded_min))
+            self._probes[current] = probes
+        return probes
 
     def forward(
         self, current: int, packet: Packet, port_load: PortLoad, first_hop: bool
@@ -104,9 +161,10 @@ class GreedyPolicy(RoutingPolicy):
         if self._cache_version != routing.version:
             self._cache.clear()
             self._cand_cache.clear()
+            self._probes.clear()
             self._cache_version = routing.version
         dst = packet.dst
-        key = (current, dst)
+        key = current * self._key_n + dst
         if self._adaptive and first_hop and not routing.is_direct(current, dst):
             # Source-router adaptivity (paper §III-B): divert to the
             # least-loaded progressing via past the congestion
@@ -118,10 +176,18 @@ class GreedyPolicy(RoutingPolicy):
                 # past the threshold, so if no output port of this
                 # router is, the candidate ranking is never consulted —
                 # which skips its cost on the (dominant) unloaded path.
-                if any(
-                    port_load(current, nbr) >= threshold
-                    for nbr in routing.usable_neighbors(current)
-                ):
+                if port_load is self._probe_cb:
+                    loaded = False
+                    for probe_port, loaded_min in self._router_probes(current):
+                        if probe_port.count >= loaded_min:
+                            loaded = True
+                            break
+                else:
+                    loaded = any(
+                        port_load(current, nbr) >= threshold
+                        for nbr in routing.usable_neighbors(current)
+                    )
+                if loaded:
                     cand = tuple(routing.candidate_set(current, dst))
                     self._cand_cache[key] = cand
             if cand is not None and len(cand) > 1 and (
@@ -134,6 +200,13 @@ class GreedyPolicy(RoutingPolicy):
                 packet.route_state = None
                 return nxt
         hit = self._cache.get(key)
+        if hit is None:
+            # Cold pair: consult the router's vectorized decision table
+            # (one kernel pass covers every destination) and memoize;
+            # only fallback-walk destinations drop to the scalar path.
+            hit = routing.kernel_next_hop(current, dst)
+            if hit is not None:
+                self._cache[key] = hit
         if hit is not None:
             nxt, commit = hit
             packet.route_state = (
@@ -157,6 +230,7 @@ class GreedyPolicy(RoutingPolicy):
         self.routing.refresh_views()
         self._cache.clear()
         self._cand_cache.clear()
+        self._probes.clear()
 
 
 class TablePolicy(RoutingPolicy):

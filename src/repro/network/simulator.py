@@ -21,19 +21,34 @@ traffic, not with network size times cycles — which is what makes
 
 Hot-path layout (the "fast path"): directed links are keyed by the
 packed integer ``u * num_nodes + v`` instead of an ``(u, v)`` tuple;
-per-link credits, occupancy count, channel count and wire latency live
+per-link credits, occupancy count, channel state and wire latency live
 on the :class:`_OutPort` itself so one dictionary lookup reaches all
-link state; and three per-node counter arrays (packets destined to a
-node, arrival events targeting it, traffic on its incident links) make
-:meth:`inflight_to` and :meth:`node_quiescent` O(1) instead of scanning
-the event heap — the scans the live-reconfiguration drain loop used to
-pay on every poll.  ``_node_quiescent_scan`` keeps the original
+link state; and per-node counter arrays (packets destined to a node,
+arrival events targeting it, packets queued on its incident links)
+make :meth:`inflight_to` and :meth:`node_quiescent` cheap instead of
+scanning the event heap — the scans the live-reconfiguration drain
+loop used to pay on every poll.  ``_node_quiescent_scan`` keeps a
 scanning implementation as the reference for the differential test.
+
+Lazy link bookkeeping: each channel records when it frees as a
+``(free_at, free_seq)`` pair instead of scheduling a LINK_FREE heap
+event per transmission.  ``free_seq`` is a *reserved* sequence number
+— allocated exactly where the eager implementation allocated its
+LINK_FREE event's — so "is this channel free at the current processing
+point?" is the total-order test ``(free_at, free_seq) <= (now,
+cur_seq)``, bit-identical to whether the eager event would already
+have been processed.  A LINK_FREE event is pushed (with the reserved
+sequence number, so it sorts exactly where the eager event would) only
+when a send attempt actually finds every channel busy and needs a
+retry.  On uncongested links the event is elided entirely, cutting
+heap traffic per hop by a third; ``eager_link_events=True`` restores
+the always-push behaviour for differential testing.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from collections import deque
 from collections.abc import Callable, Iterable
 
@@ -47,12 +62,19 @@ __all__ = ["NetworkSimulator"]
 # Event codes (heap entries are (time, seq, code, a, b) tuples; tuples
 # beat closures by a wide margin in CPython).  Link events carry the
 # _OutPort object itself in slot ``a`` — sequence numbers are unique,
-# so heap ordering never compares past (time, seq).
+# so heap ordering never compares past (time, seq).  LINK_FREE events
+# carry the channel index in slot ``b``.
 _ARRIVE = 0
 _LINK_FREE = 1
 _CALL = 2
 _WAKE = 3
 _STALL = 4
+
+# Placeholder free_seq installed while a send's inbound-credit release
+# cascade runs (before the real sequence number is reserved); larger
+# than any reachable sequence number, so the channel reads busy and no
+# retry event can be armed against it mid-cascade.
+_SEQ_PENDING = 1 << 62
 
 
 class _OutPort:
@@ -60,16 +82,20 @@ class _OutPort:
 
     ``channels`` > 1 models a link implemented as parallel physical
     channels (the bandwidth-matched ODM baseline); each channel can
-    carry one packet at a time.  The port also owns the link's credit
-    counters, queued-packet count, and precomputed SerDes + wire
-    latency, so the simulator touches exactly one object per link
-    event.
+    carry one packet at a time.  A channel is busy exactly while its
+    ``(free_at, free_seq)`` pair sorts after the simulator's current
+    processing point ``(now, cur_seq)`` — no per-transmission heap
+    event needed.  ``free_armed`` marks channels with a LINK_FREE
+    retry event outstanding (every busy channel, in eager mode).  The
+    port also owns the link's credit counters, queued-packet count,
+    and precomputed SerDes + wire latency, so the simulator touches
+    exactly one object per link event.
     """
 
-    __slots__ = ("u", "v", "queues", "credits", "count", "active_tx",
-                 "channels", "rr", "wake_at", "stall_armed", "reserve_debt",
-                 "stall_failures", "lat", "cap", "saved_channels",
-                 "drop_pids")
+    __slots__ = ("u", "v", "queues", "credits", "count", "free_at",
+                 "free_seq", "free_armed", "channels", "rr", "wake_at",
+                 "stall_armed", "reserve_debt", "stall_failures", "lat",
+                 "cap", "saved_channels", "drop_pids")
 
     def __init__(self, u: int, v: int, num_vcs: int, channels: int,
                  credits_per_vc: int, lat: int, cap: int) -> None:
@@ -78,7 +104,13 @@ class _OutPort:
         self.queues: list[deque] = [deque() for _ in range(num_vcs)]
         self.credits: list[int] = [credits_per_vc] * num_vcs
         self.count = 0  # queued packets across all VCs (occupancy)
-        self.active_tx = 0
+        # Channel-busy state is sized to the *real* channel count and
+        # survives freezes (which only park ``channels`` at zero): a
+        # packet mid-wire on a freshly failed link stays busy until its
+        # recorded tail cycle, exactly like its eager LINK_FREE event.
+        self.free_at: list[int] = [0] * channels
+        self.free_seq: list[int] = [0] * channels
+        self.free_armed: list[bool] = [False] * channels
         self.channels = channels
         # Fault support: a frozen/failed link parks its real channel
         # count here and runs with channels == 0 (so the hot path needs
@@ -127,6 +159,12 @@ class NetworkSimulator:
         sketch instead of storing every sample
         (:meth:`SimStats.sample_free`) — identical statistics, O(1)
         memory per delivered packet; opt-in for 1296-node sweeps.
+    eager_link_events:
+        Schedule a LINK_FREE heap event for *every* transmission (the
+        pre-lazy behaviour) instead of only when a send attempt blocks
+        on a busy channel.  Results are bit-identical either way — the
+        flag exists for differential testing and event accounting
+        checks; see :attr:`logical_events`.
     """
 
     def __init__(
@@ -136,6 +174,7 @@ class NetworkSimulator:
         config: NetworkConfig | None = None,
         link_latency: Callable[[int, int], int] | None = None,
         sample_free: bool = False,
+        eager_link_events: bool = False,
     ) -> None:
         self.topology = topology
         self.policy = policy
@@ -145,6 +184,11 @@ class NetworkSimulator:
         self.now = 0
         self._heap: list[tuple] = []
         self._seq = 0
+        #: sequence number of the event being processed; together with
+        #: ``now`` it defines the total-order point the lazy channel
+        #: test compares ``(free_at, free_seq)`` against.
+        self._cur_seq = 0
+        self._eager = eager_link_events
         self._n = topology.num_nodes
         #: directed link state, keyed by the packed int ``u * n + v``.
         self._ports: dict[int, _OutPort] = {}
@@ -162,11 +206,33 @@ class NetworkSimulator:
         self._dst_inflight: list[int] = [0] * n
         #: _ARRIVE events in the heap targeting each node.
         self._pending_arrive: list[int] = [0] * n
-        #: queued + in-transmission packets on links incident to each node.
+        #: packets *queued* on links incident to each node; mid-wire
+        #: packets are covered by the incident-port channel scan in
+        #: :meth:`node_quiescent` instead of a counter, because the
+        #: lazy core has no per-transmission event to decrement one at.
         self._node_traffic: list[int] = [0] * n
+        #: ports incident to each node, for the wire-busy scan.
+        self._node_ports: list[list[_OutPort]] = [[] for _ in range(n)]
         self._bits_cache: dict[int, float] = {}
         self._events_processed = 0
+        #: LINK_FREE events the lazy core never had to schedule.
+        self._link_events_elided = 0
         self.max_events = 200_000_000
+        self._router_cycles = self.config.router_cycles
+        #: stable bound method handed to policies every forward —
+        #: policies key their fast load probes on its identity.
+        self._port_load_cb = self.port_load
+        # Pre-create every directed port of the topology up front: port
+        # construction emits no events and allocates no sequence
+        # numbers, so doing it here (instead of lazily at first use) is
+        # behaviorally invisible — it just moves allocation out of the
+        # timed hot path and lets policies resolve load probes eagerly.
+        for u in topology.active_nodes:
+            for v in topology.neighbors(u):
+                self._port(u, v)
+        attach = getattr(policy, "attach_simulator", None)
+        if attach is not None:
+            attach(self)
 
     # -- wiring helpers -----------------------------------------------------
 
@@ -189,6 +255,9 @@ class NetworkSimulator:
                 cap=config.buffer_packets * num_vcs * count,
             )
             self._ports[lid] = port
+            self._node_ports[u].append(port)
+            if v != u:
+                self._node_ports[v].append(port)
         return port
 
     def port_load(self, u: int, v: int) -> float:
@@ -317,7 +386,7 @@ class NetworkSimulator:
             return
         port.channels = port.saved_channels
         port.saved_channels = None
-        if port.count and port.active_tx < port.channels:
+        if port.count:
             self._try_send(port)
 
     def fail_links(self, pairs) -> int:
@@ -369,7 +438,7 @@ class NetworkSimulator:
         Used when a link is disabled mid-run: the caller re-routes the
         queued packets (they have not consumed this link's credit yet,
         so only their inbound-link credit travels with them).  Packets
-        already on the wire (``active_tx``) are not touched — their
+        already on the wire (busy channels) are not touched — their
         arrival events complete normally, modeling the topology switch
         waiting out the last in-flight flits.
         """
@@ -387,19 +456,50 @@ class NetworkSimulator:
         self._node_traffic[v] -= removed
         return taken
 
+    def _busy_channels(self, port: _OutPort) -> int:
+        """Channels of *port* mid-transmission at the current event.
+
+        A channel is busy while its ``(free_at, free_seq)`` release
+        point sorts strictly after ``(now, cur_seq)`` — the lazy-core
+        equivalent of "its LINK_FREE event has not been processed yet".
+        The scan covers the *full* channel list (not the live
+        ``channels`` count), so a frozen or failed link still reports
+        its last in-flight packet until the wire drains.
+        """
+        now = self.now
+        cur_seq = self._cur_seq
+        free_seq = port.free_seq
+        busy = 0
+        for c, fa in enumerate(port.free_at):
+            if fa > now or (fa == now and free_seq[c] > cur_seq):
+                busy += 1
+        return busy
+
     def node_quiescent(self, node: int) -> bool:
-        """Whether *node* carries no traffic at all right now — O(1).
+        """Whether *node* carries no traffic at all right now.
 
         True when nothing is destined to it, none of its output queues
         hold packets, no packet is mid-wire on a link into or out of
         it, and no arrival event targets it.  Reconfiguration waits for
-        this before powering the node's links down.
+        this before powering the node's links down.  Counter checks
+        are O(1); the mid-wire check scans the node's incident ports
+        (O(degree), with small constants — channel release times live
+        on the port, no heap access).
         """
-        return not (
+        if (
             self._dst_inflight[node]
             or self._node_traffic[node]
             or self._pending_arrive[node]
-        )
+        ):
+            return False
+        now = self.now
+        cur_seq = self._cur_seq
+        for port in self._node_ports[node]:
+            free_seq = port.free_seq
+            for c, fa in enumerate(port.free_at):
+                if fa > now or (fa == now and free_seq[c] > cur_seq):
+                    return False
+        return True
 
     def _node_quiescent_scan(self, node: int) -> bool:
         """Reference implementation of :meth:`node_quiescent`.
@@ -413,7 +513,7 @@ class NetworkSimulator:
         for port in self._ports.values():
             if port.u != node and port.v != node:
                 continue
-            if port.active_tx or port.count:
+            if port.count or self._busy_channels(port):
                 return False
         for _time, _seq, code, a, _b in self._heap:
             if code == _ARRIVE and a == node:
@@ -486,22 +586,44 @@ class NetworkSimulator:
             node, packet, from_link, first_hop
         ):
             return  # parked: the hook re-enters it via rearrive()
-        nxt = self.policy.forward(node, packet, self.port_load, first_hop)
+        nxt = self.policy.forward(node, packet, self._port_load_cb, first_hop)
         port = self._ports.get(node * self._n + nxt)
         if port is None:
             port = self._port(node, nxt)
         stats = self.stats
         stats.queue_samples += 1
         stats.queue_total += port.count
-        port.queues[packet.vc].append(
-            (self.now + self.config.router_cycles, packet, from_link)
-        )
+        now = self.now
+        rc = self._router_cycles
+        was_empty = not port.count
+        port.queues[packet.vc].append((now + rc, packet, from_link))
         port.count += 1
         traffic = self._node_traffic
         traffic[node] += 1
         traffic[nxt] += 1
-        if port.active_tx < port.channels:
-            self._try_send(port)
+        if was_empty and rc and port.channels == 1:
+            # Dominant case inlined: the packet just queued on an empty
+            # single-channel port and cannot be ready before
+            # ``now + router_cycles``, so a full _try_send scan can only
+            # ever arm one retry event.  Replicates exactly its two
+            # reachable outcomes: wire free -> arm the head-ready wake;
+            # wire busy -> arm the channel's LINK_FREE retry.
+            fa = port.free_at[0]
+            if fa < now or (fa == now and port.free_seq[0] <= self._cur_seq):
+                ready = now + rc
+                if port.wake_at is None or port.wake_at > ready:
+                    port.wake_at = ready
+                    seq = self._seq + 1
+                    self._seq = seq
+                    heapq.heappush(self._heap, (ready, seq, _WAKE, port, None))
+            elif not port.free_armed[0]:
+                port.free_armed[0] = True
+                self._link_events_elided -= 1
+                heapq.heappush(
+                    self._heap, (fa, port.free_seq[0], _LINK_FREE, port, 0)
+                )
+            return
+        self._try_send(port)
 
     def _release_credit(self, port: _OutPort, vc: int) -> None:
         debt = port.reserve_debt
@@ -512,76 +634,184 @@ class NetworkSimulator:
             debt[vc] -= 1
         else:
             port.credits[vc] += 1
-        self._try_send(port)
+        if port.count:
+            self._try_send(port)
 
     def _try_send(self, port: _OutPort) -> None:
-        if port.active_tx >= port.channels:
-            return  # the LINK_FREE event will retry
-        if not port.count:
-            return  # nothing queued on any VC: skip the scan entirely
+        # Hot path: iterative (the tail call used to recurse once per
+        # transmission), with everything loop-invariant hoisted.  The
+        # hoisted lists are mutated in place everywhere, so re-entrant
+        # cascades stay visible through them.  The cheap guards run
+        # before the prologue: roughly half the calls (credit releases
+        # into empty ports, retries on frozen links) do no work at all.
+        if not port.count or not port.channels:
+            return
         now = self.now
+        cur_seq = self._cur_seq
+        free_at = port.free_at
+        free_seq = port.free_seq
+        armed = port.free_armed
         queues = port.queues
         credits = port.credits
         num_vcs = len(queues)
-        rr = port.rr
-        chosen_vc = -1
-        min_ready = None
-        credit_blocked = False
-        for i in range(num_vcs):
-            vc = rr + i
-            if vc >= num_vcs:
-                vc -= num_vcs
-            queue = queues[vc]
-            if not queue:
-                continue
-            ready = queue[0][0]
-            if ready > now:
-                if min_ready is None or ready < min_ready:
-                    min_ready = ready
-                continue
-            if credits[vc] <= 0:
-                credit_blocked = True
-                continue  # retried on credit release
-            chosen_vc = vc
-            break
-        if chosen_vc < 0:
-            if min_ready is not None and (
-                port.wake_at is None or port.wake_at > min_ready
-            ):
-                port.wake_at = min_ready
-                self._push(min_ready, _WAKE, port, None)
-            if credit_blocked and not port.stall_armed:
-                port.stall_armed = True
-                self._push(
-                    now + self.config.deadlock_timeout_cycles, _STALL, port, None
-                )
-            return
-        _ready, packet, from_link = queues[chosen_vc].popleft()
-        port.count -= 1
-        port.rr = chosen_vc + 1 if chosen_vc + 1 < num_vcs else 0
-        credits[chosen_vc] -= 1
-        # Claim the channel *before* releasing the inbound credit: the
-        # release can cascade through a blocked cycle back into this
-        # port, and a re-entrant _try_send seeing the stale active_tx
-        # would drive a second packet onto a single-channel wire.
-        port.active_tx += 1
-        if from_link is not None:
-            self._release_credit(from_link, packet.vc)
-        tail = now + packet.size_flits
-        packet.hops += 1
-        bits = self._bits_cache.get(packet.payload_bytes)
-        if bits is None:
-            bits = self.config.packet_bits(packet.payload_bytes)
-            self._bits_cache[packet.payload_bytes] = bits
+        heap = self._heap
+        heappush = heapq.heappush
+        eager = self._eager
+        traffic = self._node_traffic
+        pending_arrive = self._pending_arrive
+        bits_cache = self._bits_cache
         stats = self.stats
-        stats.bit_hops += bits
-        stats.flit_hops += packet.size_flits
-        v = port.v
-        self._push(tail, _LINK_FREE, port, None)
-        self._pending_arrive[v] += 1
-        self._push(tail + port.lat, _ARRIVE, v, (packet, port, False))
-        if port.active_tx < port.channels:
-            self._try_send(port)
+        while True:
+            if not port.count:
+                return  # nothing queued on any VC: skip every scan
+            channels = port.channels
+            if not channels:
+                return  # frozen/failed link: never transmits, lazy or not
+            if channels == 1:
+                # Overwhelmingly common wire shape: test channel 0
+                # directly instead of scanning.
+                fa = free_at[0]
+                if fa < now or (fa == now and free_seq[0] <= cur_seq):
+                    chan = 0
+                else:
+                    chan = -1
+            else:
+                chan = -1
+                for c in range(channels):
+                    fa = free_at[c]
+                    if fa < now or (fa == now and free_seq[c] <= cur_seq):
+                        chan = c
+                        break
+            if chan < 0:
+                # Every channel is mid-transmission.  Arm one retry at
+                # the earliest release point; pushed with the
+                # *reserved* sequence number, the retry processes
+                # exactly where the eager LINK_FREE event would have,
+                # so everything observed downstream of it stays
+                # bit-identical.  (In eager mode every busy channel is
+                # already armed, so this never pushes.)
+                best = 0
+                bfa = free_at[0]
+                bfs = free_seq[0]
+                for c in range(1, channels):
+                    fa = free_at[c]
+                    if fa < bfa or (fa == bfa and free_seq[c] < bfs):
+                        best = c
+                        bfa = fa
+                        bfs = free_seq[c]
+                if not armed[best]:
+                    armed[best] = True
+                    self._link_events_elided -= 1
+                    heappush(heap, (bfa, bfs, _LINK_FREE, port, best))
+                return
+            rr = port.rr
+            chosen_vc = -1
+            min_ready = None
+            credit_blocked = False
+            for i in range(num_vcs):
+                vc = rr + i
+                if vc >= num_vcs:
+                    vc -= num_vcs
+                queue = queues[vc]
+                if not queue:
+                    continue
+                ready = queue[0][0]
+                if ready > now:
+                    if min_ready is None or ready < min_ready:
+                        min_ready = ready
+                    continue
+                if credits[vc] <= 0:
+                    credit_blocked = True
+                    continue  # retried on credit release
+                chosen_vc = vc
+                break
+            if chosen_vc < 0:
+                if min_ready is not None:
+                    if port.wake_at is None or port.wake_at > min_ready:
+                        port.wake_at = min_ready
+                        self._push(min_ready, _WAKE, port, None)
+                    # A busy channel that frees at (or before) the head
+                    # packet's ready cycle processes ahead of the wake
+                    # event in the eager core — its reserved sequence
+                    # number predates the wake's — and starts the
+                    # transmission in that earlier frame.  Arm the
+                    # earliest such channel so the lazy core sends at
+                    # the identical (time, seq) point; if it fires
+                    # before the head is ready it re-enters here and
+                    # arms the next.
+                    best = -1
+                    bfa = bfs = 0
+                    for c in range(channels):
+                        fa = free_at[c]
+                        fs = free_seq[c]
+                        if (fa > now or (fa == now and fs > cur_seq)) and (
+                            fa <= min_ready
+                        ) and (
+                            best < 0 or fa < bfa or (fa == bfa and fs < bfs)
+                        ):
+                            best = c
+                            bfa = fa
+                            bfs = fs
+                    if best >= 0 and not armed[best]:
+                        armed[best] = True
+                        self._link_events_elided -= 1
+                        heappush(heap, (bfa, bfs, _LINK_FREE, port, best))
+                if credit_blocked and not port.stall_armed:
+                    port.stall_armed = True
+                    self._push(
+                        now + self.config.deadlock_timeout_cycles,
+                        _STALL, port, None,
+                    )
+                return
+            _ready, packet, from_link = queues[chosen_vc].popleft()
+            port.count -= 1
+            port.rr = chosen_vc + 1 if chosen_vc + 1 < num_vcs else 0
+            credits[chosen_vc] -= 1
+            tail = now + packet.size_flits
+            # Claim the channel *before* releasing the inbound credit:
+            # the release can cascade through a blocked cycle back into
+            # this port, and a re-entrant _try_send seeing a stale-free
+            # channel would drive a second packet onto a single-channel
+            # wire.  The real release sequence number is reserved only
+            # *after* the cascade (where the eager implementation
+            # allocated its LINK_FREE event's); until then the
+            # placeholder keeps the channel unambiguously busy and
+            # un-armable.
+            free_at[chan] = tail
+            free_seq[chan] = _SEQ_PENDING
+            armed[chan] = True
+            traffic[port.u] -= 1
+            traffic[port.v] -= 1
+            if from_link is not None:
+                # _release_credit, inlined for the per-hop fast path.
+                debt = from_link.reserve_debt
+                fvc = packet.vc
+                if debt[fvc] > 0:
+                    debt[fvc] -= 1
+                else:
+                    from_link.credits[fvc] += 1
+                if from_link.count:
+                    self._try_send(from_link)
+            seq = self._seq + 1
+            self._seq = seq
+            free_seq[chan] = seq
+            if eager:
+                heappush(heap, (tail, seq, _LINK_FREE, port, chan))
+            else:
+                armed[chan] = False
+                self._link_events_elided += 1
+            packet.hops += 1
+            bits = bits_cache.get(packet.payload_bytes)
+            if bits is None:
+                bits = self.config.packet_bits(packet.payload_bytes)
+                bits_cache[packet.payload_bytes] = bits
+            stats.bit_hops += bits
+            stats.flit_hops += packet.size_flits
+            v = port.v
+            pending_arrive[v] += 1
+            seq = self._seq + 1
+            self._seq = seq
+            heappush(heap, (tail + port.lat, seq, _ARRIVE, v, (packet, port, False)))
 
     def _recover_stall(self, port: _OutPort) -> None:
         """Escape-buffer deadlock recovery (see module docstring).
@@ -601,8 +831,19 @@ class NetworkSimulator:
         over-bound loan is counted in ``stats.emergency_loans``.
         """
         port.stall_armed = False
-        if port.active_tx >= port.channels:
+        channels = port.channels
+        if not channels:
             return
+        now = self.now
+        cur_seq = self._cur_seq
+        free_at = port.free_at
+        free_seq = port.free_seq
+        for c in range(channels):
+            fa = free_at[c]
+            if fa < now or (fa == now and free_seq[c] <= cur_seq):
+                break
+        else:
+            return  # every channel busy: recovery can't transmit anyway
         credits = port.credits
         blocked = [
             vc
@@ -645,17 +886,24 @@ class NetworkSimulator:
         heappop = heapq.heappop
         process_arrival = self._process_arrival
         try_send = self._try_send
-        node_traffic = self._node_traffic
         max_events = self.max_events
+        limit = math.inf if until is None else until
+        heappush = heapq.heappush
+        processed = self._events_processed
         while heap:
-            entry = heap[0]
+            entry = heappop(heap)
             time = entry[0]
-            if until is not None and time > until:
+            if time > limit:
+                # Overshot the horizon: put the event back (once per
+                # run call, vs. a peek-then-pop on every iteration).
+                heappush(heap, entry)
                 break
-            heappop(heap)
             self.now = time
-            self._events_processed += 1
-            if self._events_processed > max_events:
+            self._cur_seq = entry[1]
+            processed += 1
+            # Kept current every event: schedule() callbacks may read it.
+            self._events_processed = processed
+            if processed > max_events:
                 raise RuntimeError(
                     f"simulation exceeded {max_events} events "
                     "(livelock or runaway injection?)"
@@ -665,9 +913,7 @@ class NetworkSimulator:
                 process_arrival(entry[3], entry[4])
             elif code == _LINK_FREE:
                 port = entry[3]
-                port.active_tx -= 1
-                node_traffic[port.u] -= 1
-                node_traffic[port.v] -= 1
+                port.free_armed[entry[4]] = False
                 try_send(port)
             elif code == _WAKE:
                 port = entry[3]
@@ -685,6 +931,29 @@ class NetworkSimulator:
     def pending_events(self) -> int:
         """Events still queued (0 = fully drained)."""
         return len(self._heap)
+
+    @property
+    def link_events_elided(self) -> int:
+        """LINK_FREE events the lazy core avoided scheduling.
+
+        Zero in eager mode.  A retry that later materializes one of
+        these events is subtracted back out, so the count is exactly
+        the heap traffic saved.
+        """
+        return self._link_events_elided
+
+    @property
+    def logical_events(self) -> int:
+        """Events processed plus link events elided.
+
+        Mode-independent measure of simulated work: after a full
+        drain it equals ``_events_processed`` of an eager run exactly
+        (elision is counted at send time, processing at pop time, so
+        mid-run the two can transiently differ by the in-flight
+        links), which keeps events/sec comparable across the recorded
+        perf trajectory.
+        """
+        return self._events_processed + self._link_events_elided
 
     def drain(self, limit: int | None = None) -> SimStats:
         """Run until every queued event has been processed."""

@@ -126,6 +126,7 @@ def run_synthetic(
     sources: list[int] | None = None,
     link_latency=None,
     sample_free: bool = False,
+    eager_link_events: bool = False,
 ) -> SimStats:
     """One synthetic-traffic simulation, start to drain.
 
@@ -138,7 +139,7 @@ def run_synthetic(
     """
     sim = NetworkSimulator(
         topology, policy, config, link_latency=link_latency,
-        sample_free=sample_free,
+        sample_free=sample_free, eager_link_events=eager_link_events,
     )
     injector = BernoulliInjector(
         sim,

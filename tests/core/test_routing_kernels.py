@@ -1,0 +1,128 @@
+"""Per-router decision-table kernels vs the scalar greedy path.
+
+``GreediestRouting.kernel_next_hop`` answers a cold ``(router, dst)``
+pair from one vectorized all-destination pass.  It must agree with the
+scalar ``next_hop`` decision — same via, same commit, same
+fallback/valid classification — for every pair, and its cached tables
+must drop whenever the routing ``version`` moves (reconfiguration and
+fault-repair rebuilds).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reconfig import ReconfigurationManager
+from repro.core.routing import AdaptiveGreediestRouting, GreediestRouting
+from repro.core.topology import StringFigureTopology
+from repro.faults.detector import TableRepair
+from repro.network.policies import GreedyPolicy
+
+
+def assert_kernel_matches_scalar(topo, routing):
+    """Exhaustive (src, dst) equivalence, including the None/fallback
+    classification (kernel None <=> scalar enters the ring walk)."""
+    active = topo.active_nodes
+    checked = kernel_hits = 0
+    for current in active:
+        for dst in active:
+            if current == dst:
+                continue
+            entry = routing.kernel_next_hop(current, dst)
+            nxt, state = routing.next_hop(current, dst)
+            if entry is None:
+                assert state.in_fallback, (current, dst)
+            else:
+                kernel_hits += 1
+                assert not state.in_fallback, (current, dst)
+                assert entry == (nxt, state.commit), (current, dst)
+            checked += 1
+    assert checked == len(active) * (len(active) - 1)
+    # On an intact network greedy always progresses: the kernel must
+    # answer every pair, not silently defer to the scalar path.
+    assert kernel_hits == checked
+    return kernel_hits
+
+
+@pytest.mark.parametrize("nodes,ports", [(64, 4), (144, 4)])
+def test_kernel_equals_scalar_exhaustive(nodes, ports):
+    topo = StringFigureTopology(nodes, ports, seed=0)
+    assert_kernel_matches_scalar(topo, GreediestRouting(topo))
+
+
+def test_kernel_equals_scalar_one_hop_only():
+    topo = StringFigureTopology(64, 4, seed=0)
+    routing = GreediestRouting(topo, use_two_hop=False)
+    active = topo.active_nodes
+    for current in active:
+        for dst in active:
+            if current == dst:
+                continue
+            entry = routing.kernel_next_hop(current, dst)
+            nxt, state = routing.next_hop(current, dst)
+            if entry is None:
+                assert state.in_fallback
+            else:
+                assert entry == (nxt, state.commit)
+
+
+def test_size_gate_disables_kernel():
+    topo = StringFigureTopology(64, 4, seed=0)
+    routing = GreediestRouting(topo)
+    routing.kernel_max_nodes = 32
+    a, b = topo.active_nodes[0], topo.active_nodes[10]
+    assert routing.kernel_next_hop(a, b) is None
+    assert routing._md_matrix is None  # the O(N^2) matrix never built
+
+
+def test_tables_invalidate_on_reconfiguration():
+    topo = StringFigureTopology(64, 4, seed=7)
+    routing = GreediestRouting(topo)
+    victim = ReconfigurationManager(topo, routing).gate_candidates(1)[0]
+    # Warm every router's table against the intact network.
+    assert_kernel_matches_scalar(topo, routing)
+    before = routing.version
+    ReconfigurationManager(topo, routing).power_gate(victim)
+    assert routing.version > before
+    # Post-gate decisions must match post-gate scalar routing; any
+    # stale table would still forward toward the gated node.
+    active = topo.active_nodes
+    assert victim not in active
+    for current in active:
+        for dst in active:
+            if current == dst:
+                continue
+            entry = routing.kernel_next_hop(current, dst)
+            if entry is not None:
+                nxt, state = routing.next_hop(current, dst)
+                assert entry == (nxt, state.commit), (current, dst)
+                assert entry[0] != victim
+
+
+def test_tables_invalidate_on_fault_repair():
+    topo = StringFigureTopology(64, 4, seed=0)
+    routing = AdaptiveGreediestRouting(topo)
+    policy = GreedyPolicy(routing)
+    repair = TableRepair(routing, policy)
+    u = topo.active_nodes[0]
+    v = topo.neighbors(u)[0]
+    # Warm, then find a destination the warm table answers via the
+    # soon-to-fail wire.
+    stale_via_v = [
+        dst for dst in topo.active_nodes
+        if dst != u
+        and (entry := routing.kernel_next_hop(u, dst)) is not None
+        and entry[0] == v
+    ]
+    assert stale_via_v  # a one-hop neighbor is always someone's via
+    repair.route_around_link(u, v)
+    for dst in stale_via_v:
+        entry = routing.kernel_next_hop(u, dst)
+        if entry is not None:
+            assert entry[0] != v
+            nxt, state = routing.next_hop(u, dst)
+            assert entry == (nxt, state.commit)
+    # Restore rebuilds the neighborhood; decisions return to the
+    # intact-network answers.
+    repair.restore_link(u, v)
+    assert_kernel_matches_scalar(topo, routing)

@@ -189,7 +189,44 @@ class TestCrashAndHang:
         assert sim.stats.sent == sim.stats.delivered + sim.stats.dropped
 
 
-class TestActiveTxInvariant:
+class TestLazyFrozenChannels:
+    def test_hung_router_never_satisfies_lazy_fast_path(self):
+        """A frozen channel must not transmit just because its wire is
+        idle.
+
+        The lazy core decides "channel free" from per-channel
+        ``free_at`` timestamps instead of pending LINK_FREE events, so
+        freeze/fail must stay authoritative: a hung router's out-port
+        whose wire went idle long ago still may not send until the
+        hang is resumed.
+        """
+        topo, sim, layer = build_sim()
+        victim = topo.active_nodes[5]
+        neighbors = list(topo.neighbors(victim))
+        dst = neighbors[0]
+        # Two packets at the victim toward one neighbor: the first
+        # claims the single-channel wire; the second queues behind it.
+        p1 = send_one(sim, victim, dst)
+        p2 = send_one(sim, victim, dst)
+        sim.run(until=2)
+        layer.hang_node(victim, neighbors)
+        sim.run(until=400)
+        port = sim._ports[victim * sim._n + dst]
+        # The wire has been idle for hundreds of cycles, a packet is
+        # queued, and the frozen link still never transmitted it.
+        assert port.channels == 0 and port.saved_channels
+        assert sim._busy_channels(port) == 0
+        assert port.count >= 1
+        assert p2.arrive_time is None
+        assert sim.stats.dropped == 0
+        layer.resume_node(victim, neighbors)
+        sim.drain()
+        assert p1.arrive_time is not None
+        assert p2.arrive_time is not None
+        assert sim.stats.sent == sim.stats.delivered
+
+
+class TestWireOccupancyInvariant:
     @pytest.mark.parametrize("design,nodes,rate", [("SF", 64, 0.45)])
     def test_single_channel_wire_never_carries_two_packets(
         self, design, nodes, rate
@@ -197,12 +234,15 @@ class TestActiveTxInvariant:
         """Regression for the pre-existing _try_send fidelity bug.
 
         A credit-release cascade around a blocked cycle used to re-enter
-        _try_send before active_tx was incremented and overlap two
+        _try_send before the channel claim landed and overlap two
         packets on a one-channel wire.  The claim-before-release order
         makes the invariant unconditional; this instruments every send
         under the deadlock-recovery stress configuration to prove it.
+        Runs the eager core so every in-flight transmission has a
+        LINK_FREE heap entry to count (the lazy core elides them).
         """
         from repro.network.config import NetworkConfig
+        from repro.network.simulator import _LINK_FREE
         from repro.traffic.injection import BernoulliInjector
         from repro.traffic.patterns import make_pattern
 
@@ -215,14 +255,18 @@ class TestActiveTxInvariant:
             buffer_packets=2, deadlock_timeout_cycles=16,
             emergency_stall_threshold=16,
         )
-        sim = NetworkSimulator(topo, policy, config)
+        sim = NetworkSimulator(topo, policy, config, eager_link_events=True)
         original = sim._try_send
         violations = []
 
         def checked(port):
             original(port)
-            if port.active_tx > max(port.channels, port.saved_channels or 0):
-                violations.append((port.u, port.v, port.active_tx))
+            on_wire = sum(
+                1 for entry in sim._heap
+                if entry[2] == _LINK_FREE and entry[3] is port
+            )
+            if on_wire > max(port.channels, port.saved_channels or 0):
+                violations.append((port.u, port.v, on_wire))
 
         sim._try_send = checked
         injector = BernoulliInjector(

@@ -119,7 +119,7 @@ class TestLongChurnConservation:
         assert set(sim._node_traffic) == {0}
         for port in sim._ports.values():
             assert port.count == 0
-            assert port.active_tx == 0
+            assert sim._busy_channels(port) == 0
 
     def test_inflight_to_counts_destined_packets(self):
         topo = StringFigureTopology(16, 4, seed=1)
