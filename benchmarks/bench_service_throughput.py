@@ -1,0 +1,177 @@
+"""Service-mode throughput: requests/sec and per-tenant p99 vs clients.
+
+Boots the resident fabric daemon in-process (real asyncio sockets, the
+exact ``repro serve`` stack) and drives it with increasing numbers of
+concurrent closed-loop clients, recording for each point:
+
+* wall-clock requests/sec sustained through the socket frontier;
+* simulated-cycle latency (worst per-tenant p50/p99 — what a client
+  observes end-to-end, queueing included);
+* admission-control engagement (queued/shed counts) and the
+  conservation verdict at drain.
+
+Results append as one labeled run to
+``benchmarks/results/service_throughput.json`` (or the ``_quick``
+variant), mirroring the sim-throughput trajectory convention.
+
+Usage::
+
+    python benchmarks/bench_service_throughput.py            # full grid
+    python benchmarks/bench_service_throughput.py --quick    # CI smoke
+
+Scale also follows ``REPRO_BENCH_SCALE=quick|full`` when set.
+Wall-clock fields are noisy by nature; the simulated-cycle fields are
+deterministic per (seed, schedule) and double as a correctness check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+DEFAULT_OUT = RESULTS_DIR / "service_throughput.json"
+QUICK_OUT = RESULTS_DIR / "service_throughput_quick.json"
+
+FULL_CLIENTS = (4, 8, 16, 32, 64)
+QUICK_CLIENTS = (4, 16)
+
+CONFIG = {
+    "nodes": 144,
+    "design": "SF",
+    "requests_per_client": 32,
+    "window": 4,
+    "footprint_pages": 256,
+    "quantum": 64,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"small client counts only {QUICK_CLIENTS} (CI smoke)",
+    )
+    parser.add_argument(
+        "--clients", default=None,
+        help="comma-separated client counts (overrides the grid)",
+    )
+    parser.add_argument("--nodes", type=int, default=CONFIG["nodes"])
+    parser.add_argument(
+        "--requests", type=int, default=CONFIG["requests_per_client"],
+        help="requests per client (closed loop)",
+    )
+    parser.add_argument("--label", default=None,
+                        help="run label in the trajectory (default: scale)")
+    parser.add_argument("--out", default=None, metavar="FILE")
+    return parser
+
+
+async def _measure_point(nodes: int, clients: int, requests: int) -> dict:
+    from repro.service.core import FabricService
+    from repro.service.daemon import FabricDaemon
+    from repro.service.selftest import _client
+
+    service = FabricService(
+        nodes=nodes,
+        footprint_pages=CONFIG["footprint_pages"],
+        max_outstanding=max(8, clients * CONFIG["window"] // 6),
+        node_watermark=4,
+        queue_depth=clients * CONFIG["window"],
+    )
+    daemon = FabricDaemon(service, quantum=CONFIG["quantum"])
+    host, port = await daemon.start()
+    responses: list[dict] = []
+    t0 = time.perf_counter()
+    await asyncio.gather(*[
+        _client(host, port, i, requests, CONFIG["window"],
+                CONFIG["footprint_pages"], responses)
+        for i in range(clients)
+    ])
+    wall_s = time.perf_counter() - t0
+    drain_report = service.drain()
+    await daemon.stop()
+    snapshot = service.snapshot()
+    tenant_rows = [t for t in snapshot["tenants"].values() if t["completed"]]
+    total = len(responses)
+    return {
+        "clients": clients,
+        "requests": total,
+        "wall_s": round(wall_s, 4),
+        "requests_per_sec": round(total / wall_s, 1) if wall_s else 0.0,
+        "sim_cycles": snapshot["now"],
+        "p50_max": max((t["p50"] for t in tenant_rows), default=0.0),
+        "p99_max": max((t["p99"] for t in tenant_rows), default=0.0),
+        "queued": snapshot["queued_total"],
+        "shed": snapshot["shed"],
+        "conserved": bool(drain_report["all_conserved"]),
+    }
+
+
+def measure(nodes: int, client_grid, requests: int) -> list[dict]:
+    points = []
+    header = (
+        f"{'clients':>7}  {'req/s':>9}  {'p50_max':>8}  {'p99_max':>8}  "
+        f"{'queued':>6}  {'shed':>5}  {'conserved':>9}"
+    )
+    print(header)
+    for clients in client_grid:
+        point = asyncio.run(_measure_point(nodes, clients, requests))
+        points.append(point)
+        print(
+            f"{point['clients']:>7}  {point['requests_per_sec']:>9}  "
+            f"{point['p50_max']:>8.1f}  {point['p99_max']:>8.1f}  "
+            f"{point['queued']:>6}  {point['shed']:>5}  "
+            f"{str(point['conserved']):>9}"
+        )
+    return points
+
+
+def load_trajectory(path: Path) -> dict:
+    if not path.exists():
+        return {"config": CONFIG, "runs": []}
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SystemExit(
+            f"{path} exists but is not valid JSON ({exc}); refusing to "
+            "overwrite the recorded trajectory — fix or delete it first"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    quick = args.quick or (
+        os.environ.get("REPRO_BENCH_SCALE", "").lower() == "quick"
+    )
+    if args.clients:
+        grid = tuple(int(c) for c in args.clients.split(","))
+    else:
+        grid = QUICK_CLIENTS if quick else FULL_CLIENTS
+    out = Path(args.out) if args.out else (QUICK_OUT if quick else DEFAULT_OUT)
+    points = measure(args.nodes, grid, args.requests)
+    if not all(p["conserved"] for p in points):
+        print("FAIL: conservation violated at drain", file=sys.stderr)
+        return 1
+    trajectory = load_trajectory(out)
+    trajectory["runs"].append({
+        "label": args.label or ("quick" if quick else "full"),
+        "nodes": args.nodes,
+        "requests_per_client": args.requests,
+        "points": points,
+    })
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"trajectory: {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,12 @@ Four subcommands cover the library's main entry points:
   over a designs x scales grid; the benchmark harness records these
   points as the repo's tracked performance trajectory
   (``benchmarks/results/sim_throughput.json``).
+* ``serve`` — the simulator as a long-running daemon: a resident
+  fabric accepts concurrent client read/write streams over a
+  newline-JSON TCP socket, with admission control, per-tenant p50/p99,
+  live ``scale``/``fault``/``drain`` control verbs, request-log
+  capture, and bit-identical ``--replay``; ``--selftest`` runs the
+  full socket-level load test in-process (see ``docs/SERVICE.md``).
 """
 
 from __future__ import annotations
@@ -85,7 +91,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--kind", default="synthetic",
-        choices=("synthetic", "saturation", "workload", "path_stats"),
+        choices=("synthetic", "saturation", "workload", "path_stats",
+                 "service"),
     )
     sweep.add_argument(
         "--designs", default="SF",
@@ -312,6 +319,69 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--output", default=None, metavar="FILE",
         help="also dump raw task payloads as JSON",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="resident fabric daemon over newline-JSON TCP "
+             "(docs/SERVICE.md)",
+    )
+    serve.add_argument("--design", default="SF")
+    serve.add_argument("--nodes", type=int, default=144)
+    serve.add_argument("--ports", type=int, default=None)
+    serve.add_argument("--topology-seed", type=int, default=0)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7117,
+        help="TCP port (0 = ephemeral, printed at startup)",
+    )
+    serve.add_argument("--page-bytes", type=int, default=4096)
+    serve.add_argument("--footprint-pages", type=int, default=512)
+    serve.add_argument(
+        "--max-outstanding", type=int, default=256,
+        help="global in-flight request budget before queueing",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=512,
+        help="admission queue bound; beyond it requests shed",
+    )
+    serve.add_argument(
+        "--node-watermark", type=int, default=32,
+        help="per-destination in-flight packet watermark",
+    )
+    serve.add_argument(
+        "--quantum", type=int, default=64,
+        help="simulated cycles advanced per ingestion batch",
+    )
+    serve.add_argument(
+        "--capture", default=None, metavar="FILE",
+        help="write the request log (JSONL) at shutdown for --replay",
+    )
+    serve.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="re-run a captured request log bit-identically and exit",
+    )
+    serve.add_argument(
+        "--selftest", action="store_true",
+        help="in-process daemon + concurrent socket clients + live "
+             "scale/fault verbs + conservation and replay checks",
+    )
+    serve.add_argument(
+        "--clients", type=int, default=32,
+        help="selftest: concurrent client connections",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=24,
+        help="selftest: requests per client (closed loop)",
+    )
+    serve.add_argument(
+        "--window", type=int, default=4,
+        help="selftest: per-client in-flight window",
+    )
+    serve.add_argument(
+        "--no-verify-replay", action="store_true",
+        help="selftest: skip the bit-identical replay check",
     )
 
     return parser
@@ -807,6 +877,86 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the fabric daemon, a log replay, or the socket self-test."""
+    if args.selftest:
+        from repro.service.selftest import run_selftest
+
+        return run_selftest(
+            nodes=args.nodes,
+            clients=args.clients,
+            requests=args.requests,
+            window=args.window,
+            quantum=args.quantum,
+            capture_path=args.capture,
+            verify_replay=not args.no_verify_replay,
+        )
+
+    if args.replay:
+        from repro.service.log import RequestLog, replay
+
+        log = RequestLog.load(args.replay)
+        service = replay(log)
+        digest = service.digest()
+        report = service.snapshot()
+        print(f"replayed {digest['requests']} requests from {args.replay}")
+        print(f"  completions digest: {digest['completions']}")
+        print(f"  sent={digest['sent']} delivered={digest['delivered']} "
+              f"dropped={digest['dropped']} shed={digest['shed']}")
+        print(f"  pages_lost={report['pages_lost']} "
+              f"migrations={report['migrations']} faults={report['faults']}")
+        if args.capture:
+            from repro.service.log import RequestLog as _Log
+
+            _Log.capture(service).save(args.capture)
+            print(f"  re-captured log -> {args.capture}")
+        return 0
+
+    import asyncio
+
+    from repro.service.core import FabricService
+    from repro.service.daemon import FabricDaemon
+    from repro.service.log import RequestLog
+
+    service = FabricService(
+        nodes=args.nodes,
+        design=args.design,
+        ports=args.ports,
+        topology_seed=args.topology_seed,
+        seed=args.seed,
+        footprint_pages=args.footprint_pages,
+        page_bytes=args.page_bytes,
+        max_outstanding=args.max_outstanding,
+        queue_depth=args.queue_depth,
+        node_watermark=args.node_watermark,
+    )
+
+    async def _serve() -> None:
+        daemon = FabricDaemon(
+            service, host=args.host, port=args.port, quantum=args.quantum
+        )
+        host, port = await daemon.start()
+        print(f"fabric daemon: {args.design} N={args.nodes} resident on "
+              f"{host}:{port} ({args.footprint_pages} pages x "
+              f"{args.page_bytes} B)")
+        print(f'try: printf \'{{"op":"read","page":0,"id":"x"}}\\n\' '
+              f"| nc {host} {port}")
+        try:
+            await daemon.wait_stopped()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            await daemon.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\ninterrupted; draining")
+        service.drain()
+    if args.capture:
+        RequestLog.capture(service).save(args.capture)
+        print(f"captured request log -> {args.capture}")
+    return 0
+
+
 _COMMANDS = {
     "topology": _cmd_topology,
     "simulate": _cmd_simulate,
@@ -817,6 +967,7 @@ _COMMANDS = {
     "migrate": _cmd_migrate,
     "faults": _cmd_faults,
     "perf": _cmd_perf,
+    "serve": _cmd_serve,
 }
 
 

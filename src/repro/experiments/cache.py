@@ -103,6 +103,7 @@ class ResultCache:
                 shutil.rmtree(sibling, ignore_errors=True)
 
     def path_for(self, task: ExperimentTask) -> Path:
+        """On-disk location of *task*'s cached payload."""
         return self.directory / f"{task.key()}.json"
 
     def get(self, task: ExperimentTask) -> dict[str, Any] | None:

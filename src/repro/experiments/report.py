@@ -107,6 +107,22 @@ def _row(task: ExperimentTask, payload: dict[str, Any]) -> list[str]:
             _fmt(None if unsupported else payload.get("pages_lost")),
             _fmt(None if unsupported else payload.get("all_conserved")),
         ]
+    if task.kind == "service":
+        return [
+            task.design, task.nodes, f"{task.rate:g}", task.seed,
+            _fmt(None if unsupported else payload.get("submitted")),
+            _fmt(None if unsupported else payload.get("completed")),
+            _fmt(None if unsupported else payload.get("shed")),
+            _fmt(None if unsupported else payload.get("queued_total")),
+            _fmt(
+                None if unsupported
+                else payload.get("requests_per_kcycle"), ".1f"
+            ),
+            _fmt(None if unsupported else payload.get("p50_max"), ".0f"),
+            _fmt(None if unsupported else payload.get("p99_max"), ".0f"),
+            _fmt(None if unsupported else payload.get("pages_lost")),
+            _fmt(None if unsupported else payload.get("conserved")),
+        ]
     if task.kind == "perf":
         return [
             task.design, task.nodes, task.pattern, f"{task.rate:g}", task.seed,
@@ -143,6 +159,9 @@ _HEADERS = {
                "conserved"],
     "perf": ["design", "N", "pattern", "rate", "seed", "events",
              "wall_s", "events/s", "delivered", "avg_lat"],
+    "service": ["design", "N", "rate", "seed", "submitted", "done", "shed",
+                "queued", "req/kcyc", "p50_max", "p99_max", "pg_lost",
+                "conserved"],
 }
 
 

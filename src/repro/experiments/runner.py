@@ -69,6 +69,7 @@ class SweepResult:
             yield task, self.payloads[task.key()]
 
     def payload(self, task: ExperimentTask) -> dict[str, Any]:
+        """Result payload recorded for *task*."""
         return self.payloads[task.key()]
 
     def select(
@@ -95,6 +96,7 @@ class SweepResult:
         return self.get(**filters).get(metric, default)
 
     def summary(self) -> str:
+        """One-line human summary: task count, cache hits, wall time."""
         return (
             f"{len(self.tasks)} tasks: {self.cache_hits} cache hits, "
             f"{self.cache_misses} simulated "
@@ -161,6 +163,7 @@ class ParallelRunner:
         return self.run_tasks(tasks)
 
     def run_tasks(self, tasks: Sequence[ExperimentTask]) -> SweepResult:
+        """Execute *tasks* (deduplicated, cache-aware) and collect results."""
         start = time.perf_counter()
         # Duplicate grid points (e.g. overlapping specs) simulate once.
         ordered: list[ExperimentTask] = []

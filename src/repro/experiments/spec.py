@@ -47,6 +47,16 @@ Four task kinds cover the benchmark harness:
     Grid axes match ``synthetic`` — and unlike ``churn``/``migration``
     the designs axis spans the baselines too (SF vs DM vs Jellyfish is
     the paper's resilience comparison).
+``service``
+    One :func:`repro.workloads.service.run_service` multi-tenant load
+    point against a resident fabric-service stack: seeded closed-form
+    client schedules drive read/write page requests through admission
+    control, with optional mid-run scale/fault verbs.  Service knobs
+    (``tenants``, ``requests_per_tenant``, ``max_outstanding``,
+    ``node_watermark``, ``scale_at`` ...) ride in ``sim_params``; the
+    ``rates`` axis is per-tenant requests/cycle.  Grid axes match
+    ``synthetic`` (the ``patterns`` axis is accepted but unused — the
+    page stream is uniform over the footprint).
 ``perf``
     One simulator-throughput measurement: a synthetic run whose
     payload reports events processed, wall-clock seconds and
@@ -72,7 +82,7 @@ __all__ = ["TASK_KINDS", "ExperimentSpec", "ExperimentTask", "freeze_params"]
 
 TASK_KINDS = (
     "synthetic", "saturation", "workload", "path_stats", "churn", "migration",
-    "faults", "perf",
+    "faults", "perf", "service",
 )
 
 #: Bump when task semantics change so stale cache entries are ignored.
@@ -129,6 +139,7 @@ class ExperimentTask:
         object.__setattr__(self, "design", canonical_name(self.design))
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-safe mapping of every task field."""
         return {
             "kind": self.kind,
             "design": self.design,
@@ -144,6 +155,7 @@ class ExperimentTask:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentTask":
+        """Rebuild a task from :meth:`to_dict` output."""
         return cls(
             kind=data["kind"],
             design=data["design"],
@@ -226,7 +238,10 @@ class ExperimentSpec:
         if self.kind == "workload" and not self.workloads:
             raise ValueError("workload specs need at least one workload")
         if (
-            self.kind in ("synthetic", "churn", "migration", "faults", "perf")
+            self.kind in (
+                "synthetic", "churn", "migration", "faults", "perf",
+                "service",
+            )
             and not self.rates
         ):
             raise ValueError(f"{self.kind} specs need at least one rate")
@@ -236,7 +251,7 @@ class ExperimentSpec:
         if (
             self.kind in (
                 "synthetic", "saturation", "churn", "migration", "faults",
-                "perf",
+                "perf", "service",
             )
             and not self.patterns
         ):
@@ -262,7 +277,9 @@ class ExperimentSpec:
             topology_params=topo,
         )
         out: list[ExperimentTask] = []
-        if self.kind in ("synthetic", "churn", "migration", "faults", "perf"):
+        if self.kind in (
+            "synthetic", "churn", "migration", "faults", "perf", "service",
+        ):
             for design in self.designs:
                 for n in self.nodes:
                     for pattern in self.patterns:
@@ -319,6 +336,7 @@ class ExperimentSpec:
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-safe mapping of every spec field (grid axes as lists)."""
         return {
             "name": self.name,
             "kind": self.kind,
@@ -335,6 +353,7 @@ class ExperimentSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output; rejects unknown keys."""
         known = {f for f in cls.__dataclass_fields__}
         unknown = set(data) - known
         if unknown:
@@ -342,14 +361,17 @@ class ExperimentSpec:
         return cls(**data)
 
     def to_json(self, indent: int | None = 2) -> str:
+        """Serialize the spec to JSON (the ``--spec`` file format)."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "ExperimentSpec":
+        """Parse a spec from its JSON serialization."""
         return cls.from_dict(json.loads(text))
 
     @classmethod
     def from_file(cls, path: str | Path) -> "ExperimentSpec":
+        """Load a spec from a JSON file (``repro sweep --spec``)."""
         return cls.from_json(Path(path).read_text())
 
     def spec_hash(self) -> str:

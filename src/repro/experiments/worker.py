@@ -482,6 +482,49 @@ def _run_path_stats(task: ExperimentTask) -> dict[str, Any]:
     return payload
 
 
+def _run_service(task: ExperimentTask) -> dict[str, Any]:
+    """One multi-tenant fabric-service load point (offline, no sockets).
+
+    Builds the full resident-service stack fresh (the control verbs
+    mutate topology and placement, exactly like ``churn``/``faults``)
+    and drives a seeded synthetic client schedule through the same
+    ingestion path the daemon and the replay engine use, so a sweep
+    point is a repeatable, cacheable stand-in for live load.  The task
+    ``rate`` is per-tenant requests/cycle; service knobs ride in
+    ``sim_params``.
+    """
+    from repro.workloads.service import run_service
+
+    kwargs = dict(task.topology_params)
+    ports = kwargs.pop("ports", None)
+    try:
+        result = run_service(
+            nodes=task.nodes,
+            design=task.design,
+            ports=ports,
+            topology_seed=task.topology_seed,
+            seed=task.seed,
+            tenants=task.sim("tenants", 8),
+            requests_per_tenant=task.sim("requests_per_tenant", 64),
+            rate=task.rate,
+            footprint_pages=task.sim("footprint_pages", 512),
+            read_fraction=task.sim("read_fraction", 0.7),
+            size=task.sim("size", 64),
+            max_outstanding=task.sim("max_outstanding", 256),
+            queue_depth=task.sim("queue_depth", 512),
+            node_watermark=task.sim("node_watermark", 32),
+            scale_at=task.sim("scale_at"),
+            scale_count=task.sim("scale_count", 0),
+            scale_back_after=task.sim("scale_back_after"),
+            fault_at=task.sim("fault_at"),
+            fault_kind=task.sim("fault_kind", "node_crash"),
+            fault_node=task.sim("fault_node"),
+        )
+    except ValueError as exc:
+        return {"unsupported": True, "error": str(exc)}
+    return result.payload()
+
+
 _RUNNERS = {
     "synthetic": _run_synthetic,
     "saturation": _run_saturation,
@@ -491,4 +534,5 @@ _RUNNERS = {
     "migration": _run_migration,
     "faults": _run_faults,
     "perf": _run_perf,
+    "service": _run_service,
 }

@@ -131,9 +131,11 @@ class _OutPort:
         self.cap = cap  # queue capacity for port_load normalization
 
     def occupancy(self) -> int:
+        """Packets currently buffered across all VCs of this port."""
         return self.count
 
     def total_reserve_debt(self) -> int:
+        """Credits promised to in-flight sends but not yet consumed."""
         return sum(self.reserve_debt)
 
 

@@ -1,0 +1,39 @@
+"""Memory-fabric service mode: the simulator as a long-running daemon.
+
+This package turns the batch simulator into a *resident* system: one
+:class:`~repro.service.core.FabricService` keeps a
+:class:`~repro.network.simulator.NetworkSimulator`, an
+:class:`~repro.memory.address.AddressMapper`, and a
+:class:`~repro.memory.migration.PageDirectory` alive while many
+concurrent client streams feed read/write page requests into the
+deterministic event loop.  The split is strict:
+
+* **Deterministic core** (:mod:`repro.service.core`) — wall-clock-free.
+  Every externally-driven action (a request submit, a control verb)
+  enters through a single sequenced injection queue at an explicit
+  simulated time, so the core's entire evolution is a pure function of
+  the ordered request log.
+* **Ingestion frontier** (:mod:`repro.service.daemon`) — an asyncio
+  newline-JSON socket server that stamps client traffic into the core
+  at quantum boundaries and pumps simulated time forward.  Only the
+  frontier touches wall-clock concerns (sockets, scheduling).
+
+Because the core is replayable, a captured request log
+(:mod:`repro.service.log`) re-runs **bit-identically**: the replay
+engine advances the simulator to each recorded ingest cycle and
+re-submits in recorded order, reproducing every per-request latency and
+every :class:`~repro.network.stats.SimStats` counter.  This is the
+property the service tests and ``repro serve --selftest`` assert.
+"""
+
+from repro.service.core import FabricService, ServiceRequest, TenantStats
+from repro.service.log import RequestLog, drive, replay
+
+__all__ = [
+    "FabricService",
+    "ServiceRequest",
+    "TenantStats",
+    "RequestLog",
+    "drive",
+    "replay",
+]

@@ -1,0 +1,897 @@
+"""The deterministic heart of service mode: a resident fabric.
+
+A :class:`FabricService` owns one complete simulated memory fabric —
+topology, routing, :class:`~repro.network.simulator.NetworkSimulator`,
+:class:`~repro.memory.address.AddressMapper`,
+:class:`~repro.memory.migration.PageDirectory`, banked DRAM nodes, and
+the full elasticity/migration/fault stack of PRs 2–5 — and exposes it
+as a request-serving system instead of a batch scenario.
+
+**Sequencing invariant.**  The core never reads a wall clock.  All
+external inputs enter through exactly two methods and only *between*
+event-loop runs:
+
+* :meth:`submit` — one read/write page request, stamped at the current
+  simulated cycle and appended to the request log;
+* the control verbs (:meth:`scale_down`, :meth:`scale_up`,
+  :meth:`inject_fault`, :meth:`drain`) — likewise stamped and logged.
+
+Callers alternate ``advance_to(t)`` / ``submit(...)`` so every
+submission happens at a quiescent cycle boundary.  Under that
+discipline the service's evolution — per-request latencies, admission
+decisions, SimStats counters, page placement — is a pure function of
+the ordered log, which is what makes :func:`repro.service.log.replay`
+bit-identical and the asyncio frontier testable.
+
+**Admission control.**  Requests are injected immediately while the
+fabric has headroom; near saturation they queue (bounded FIFO) and past
+the queue bound they shed.  Headroom is judged on the PR-4 O(1)
+counters: a global in-flight request budget (``max_outstanding``) plus
+a per-destination watermark on ``sim.inflight_to(node)`` so one hot
+node cannot absorb the whole budget.  Per-tenant accounting (submitted
+/ completed / shed / queued / failed plus exact p50/p99 latency via
+:class:`~repro.network.stats.QuantileSketch`) is kept per stream.
+
+**Conservation.**  At drain the invariants of every prior PR are
+checked together: ``sent == delivered + dropped``, page-directory
+one-place conservation, and — new here — request conservation: every
+submitted request ends exactly one way (done / shed / failed /
+timeout), ``outstanding == 0``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.network.packet import Packet, PacketKind
+
+__all__ = ["FabricService", "ServiceRequest", "TenantStats"]
+
+#: Request packets carry address + tag in a 16-byte header.
+REQUEST_HEADER_BYTES = 16
+
+#: Terminal request states (``ServiceRequest.status`` values).
+TERMINAL_STATES = ("done", "shed", "failed", "timeout", "error")
+
+
+@dataclass
+class ServiceRequest:
+    """One client read/write request moving through the fabric.
+
+    ``latency`` is end-to-end simulated cycles from :attr:`t_submit`
+    (admission) to completion — it includes any admission-queue wait,
+    the network round trip, DRAM service, and migration stalls, which
+    is what a client actually observes.
+    """
+
+    seq: int
+    tenant: str
+    op: str
+    page: int
+    offset: int
+    size: int
+    t_submit: int
+    req_id: Any = None
+    status: str = "pending"
+    t_inject: int | None = None
+    t_done: int | None = None
+    latency: int | None = None
+    error: str | None = None
+    src_node: int | None = None
+    #: Completion callback (set by the frontier); fired exactly once.
+    on_done: Callable[["ServiceRequest"], None] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe view of the request (wire responses, tests)."""
+        return {
+            "seq": self.seq,
+            "tenant": self.tenant,
+            "op": self.op,
+            "page": self.page,
+            "offset": self.offset,
+            "size": self.size,
+            "t_submit": self.t_submit,
+            "req_id": self.req_id,
+            "status": self.status,
+            "latency": self.latency,
+            "error": self.error,
+        }
+
+
+@dataclass
+class TenantStats:
+    """Per-stream accounting: request counts and exact percentiles."""
+
+    name: str
+    submitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    failed: int = 0
+    queued: int = 0
+    reads: int = 0
+    writes: int = 0
+    local_ops: int = 0
+    bytes_moved: int = 0
+    sketch: Any = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.sketch is None:
+            from repro.network.stats import QuantileSketch
+
+            self.sketch = QuantileSketch()
+
+    def record_latency(self, latency: int) -> None:
+        """Fold one completed-request latency into the sketch."""
+        self.sketch.add(latency)
+
+    def p50(self) -> float:
+        """Median completed-request latency (cycles)."""
+        return self.sketch.percentile(50)
+
+    def p99(self) -> float:
+        """99th-percentile completed-request latency (cycles)."""
+        return self.sketch.percentile(99)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot (the ``stats`` verb's per-tenant block)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "failed": self.failed,
+            "queued": self.queued,
+            "reads": self.reads,
+            "writes": self.writes,
+            "local_ops": self.local_ops,
+            "bytes_moved": self.bytes_moved,
+            "p50": self.p50(),
+            "p99": self.p99(),
+        }
+
+
+class FabricService:
+    """A resident simulated memory fabric serving live request streams.
+
+    Construction builds the full stack fresh (never memoized — control
+    verbs mutate topology and routing tables): for String Figure, the
+    adaptive greediest router, the online reconfiguration pipeline with
+    real page migration, and the fault detection/repair/recovery stack;
+    for baseline designs the same minus the ``scale`` verb (live
+    reconfiguration requires shortcut wires).
+
+    The constructor parameters are all JSON-safe and round-trip through
+    :meth:`config_dict` / :meth:`from_config`, which is how a captured
+    request log rebuilds an identical service for replay.
+    """
+
+    def __init__(
+        self,
+        nodes: int = 144,
+        design: str = "SF",
+        ports: int | None = None,
+        topology_seed: int = 0,
+        seed: int = 0,
+        footprint_pages: int = 512,
+        page_bytes: int = 4096,
+        mirrored: bool = True,
+        max_outstanding: int = 256,
+        queue_depth: int = 512,
+        node_watermark: int = 32,
+        request_timeout: int = 50_000,
+        pump_interval: int = 16,
+        reaper_interval: int = 2_000,
+        mig_rate_limit: float = 64.0,
+        detection_timeout: int = 200,
+        retransmit_timeout: int = 64,
+        max_retries: int = 8,
+    ) -> None:
+        from repro.core.reconfig import ReconfigurationManager
+        from repro.core.routing import AdaptiveGreediestRouting
+        from repro.core.topology import StringFigureTopology
+        from repro.energy.power_gating import PowerManager
+        from repro.faults.detector import FaultDetector, GraphRepair, TableRepair
+        from repro.faults.injector import FaultInjector
+        from repro.faults.layer import FaultLayer
+        from repro.faults.recovery import RecoveryOrchestrator
+        from repro.memory.address import AddressMapper
+        from repro.memory.migration import MigrationEngine, PageDirectory
+        from repro.memory.node import MemoryNode
+        from repro.network.config import NetworkConfig
+        from repro.network.elastic import LiveReconfigurator
+        from repro.network.policies import GreedyPolicy
+        from repro.network.simulator import NetworkSimulator
+        from repro.topologies.registry import make_topology
+
+        if footprint_pages < 1:
+            raise ValueError(
+                f"footprint_pages must be >= 1, got {footprint_pages}"
+            )
+        self._params = {
+            "nodes": nodes, "design": design, "ports": ports,
+            "topology_seed": topology_seed, "seed": seed,
+            "footprint_pages": footprint_pages, "page_bytes": page_bytes,
+            "mirrored": mirrored, "max_outstanding": max_outstanding,
+            "queue_depth": queue_depth, "node_watermark": node_watermark,
+            "request_timeout": request_timeout,
+            "pump_interval": pump_interval,
+            "reaper_interval": reaper_interval,
+            "mig_rate_limit": mig_rate_limit,
+            "detection_timeout": detection_timeout,
+            "retransmit_timeout": retransmit_timeout,
+            "max_retries": max_retries,
+        }
+        config = NetworkConfig(emergency_stall_threshold=16)
+        topology = make_topology(
+            design, nodes, seed=topology_seed, ports=ports
+        )
+        self.topology = topology
+        is_sf = (
+            isinstance(topology, StringFigureTopology)
+            and topology.with_shortcuts
+        )
+        manager = None
+        if is_sf:
+            routing = AdaptiveGreediestRouting(topology)
+            policy = GreedyPolicy(routing)
+        else:
+            policy = topology.make_policy(adaptive=True)
+        self.sim = NetworkSimulator(topology, policy, config, sample_free=True)
+        self.layer = FaultLayer(
+            self.sim,
+            retransmit_timeout=retransmit_timeout,
+            max_retries=max_retries,
+        )
+
+        active = list(topology.active_nodes)
+        self.mapper = AddressMapper(active, interleave_bytes=page_bytes)
+        self.directory = PageDirectory()
+        self.directory.populate(self.mapper, footprint_pages)
+        self._memory_nodes: dict[int, MemoryNode] = {}
+        self._config = config
+        self._MemoryNode = MemoryNode
+        self.engine = MigrationEngine(
+            self.sim,
+            self.mapper,
+            self.directory,
+            self.memory_node,
+            rate_limit_bytes_per_cycle=mig_rate_limit,
+        )
+        self.live = None
+        if is_sf:
+            manager = ReconfigurationManager(topology, routing)
+            power = PowerManager(manager, config=config)
+            self.live = LiveReconfigurator(
+                self.sim, manager, policy, power=power, migrator=self.engine
+            )
+            repair = TableRepair(routing, policy)
+        else:
+            repair = GraphRepair(self.sim, topology, self.layer)
+        self.recovery = RecoveryOrchestrator(
+            self.sim,
+            self.layer,
+            live=self.live,
+            graph_repair=None if is_sf else repair,
+            engine=self.engine,
+            directory=self.directory,
+            mirrored=mirrored,
+        )
+        self.detector = FaultDetector(
+            self.sim, self.layer, repair,
+            recovery=self.recovery, live=self.live,
+            detection_timeout=detection_timeout,
+        )
+        self.fault_injector = FaultInjector(
+            self.sim, self.layer, self.detector, topology,
+            manager=manager, seed=seed,
+        )
+        self.sim.on_delivery(self._on_delivery)
+
+        self.footprint_pages = footprint_pages
+        self.page_bytes = page_bytes
+        self.max_outstanding = max_outstanding
+        self.queue_depth = queue_depth
+        self.node_watermark = node_watermark
+        self.request_timeout = request_timeout
+        self.pump_interval = pump_interval
+        self.reaper_interval = reaper_interval
+
+        self.admitting = True
+        self.outstanding = 0
+        self.tenants: dict[str, TenantStats] = {}
+        self.log_entries: list[dict[str, Any]] = []
+        #: (seq, status, latency) in completion order — the digest feed.
+        self.completions: list[tuple[int, str, int | None]] = []
+        self.forwarded = 0
+        self.stalled = 0
+        self.shed_total = 0
+        self.queued_total = 0
+        self.timeouts = 0
+        self._next_seq = 0
+        self._pending: dict[int, ServiceRequest] = {}
+        self._queue: deque[ServiceRequest] = deque()
+        self._pump_scheduled = False
+        self._reaper_scheduled = False
+        self._gated: list[int] = []
+        self._source_ring = sorted(active)
+
+    # -- construction helpers ----------------------------------------------
+
+    def config_dict(self) -> dict[str, Any]:
+        """The constructor parameters, JSON-safe (the capture header)."""
+        return dict(self._params)
+
+    @classmethod
+    def from_config(cls, params: dict[str, Any]) -> "FabricService":
+        """Rebuild a service identical to one captured in a log header."""
+        return cls(**params)
+
+    def memory_node(self, node_id: int):
+        """The banked DRAM controller of *node_id* (created on demand)."""
+        node = self._memory_nodes.get(node_id)
+        if node is None:
+            node = self._MemoryNode(node_id, self.sim, self._config)
+            self._memory_nodes[node_id] = node
+        return node
+
+    # -- time ----------------------------------------------------------------
+
+    def advance_to(self, t: int) -> None:
+        """Run the event loop up to simulated cycle *t* (inclusive)."""
+        if t > self.sim.now:
+            self.sim.run(until=t)
+
+    def advance(self, cycles: int) -> None:
+        """Run the event loop *cycles* beyond the current cycle."""
+        self.advance_to(self.sim.now + cycles)
+
+    # -- request path --------------------------------------------------------
+
+    def tenant(self, name: str) -> TenantStats:
+        """The accounting record for tenant *name* (created on demand)."""
+        stats = self.tenants.get(name)
+        if stats is None:
+            stats = TenantStats(name)
+            self.tenants[name] = stats
+        return stats
+
+    def submit(
+        self,
+        tenant: str,
+        op: str,
+        page: int,
+        offset: int = 0,
+        size: int | None = None,
+        req_id: Any = None,
+        on_done: Callable[[ServiceRequest], None] | None = None,
+    ) -> ServiceRequest:
+        """Admit one read/write request at the current simulated cycle.
+
+        Must be called between event-loop runs (the sequencing
+        invariant in the module docstring).  The request is logged,
+        validated, then either injected, queued, or shed; ``on_done``
+        fires exactly once when the request reaches a terminal state —
+        possibly synchronously (validation error or shed).
+        """
+        now = self.sim.now
+        if size is None:
+            size = self._config.cacheline_bytes
+        self.log_entries.append({
+            "kind": "request", "t": now, "tenant": tenant, "op": op,
+            "page": page, "offset": offset, "size": size, "req_id": req_id,
+        })
+        stats = self.tenant(tenant)
+        stats.submitted += 1
+        request = ServiceRequest(
+            seq=self._next_seq, tenant=tenant, op=op, page=int(page),
+            offset=int(offset), size=int(size), t_submit=now,
+            req_id=req_id, on_done=on_done,
+        )
+        self._next_seq += 1
+
+        error = self._validate(request)
+        if error is not None:
+            self._finish(request, now, "error", error)
+            return request
+        if op == "read":
+            stats.reads += 1
+        else:
+            stats.writes += 1
+        if not self.admitting:
+            self._shed(request, now, "draining")
+            return request
+        # FIFO fairness: once anything queues, new arrivals go behind it.
+        if self._queue or not self._has_headroom(request):
+            if len(self._queue) < self.queue_depth:
+                request.status = "queued"
+                self._queue.append(request)
+                self._pending[request.seq] = request
+                stats.queued += 1
+                self.queued_total += 1
+                self._ensure_pump(now)
+                self._ensure_reaper(now)
+            else:
+                self._shed(request, now, "overload")
+            return request
+        self._inject(request, now)
+        return request
+
+    def _validate(self, request: ServiceRequest) -> str | None:
+        if request.op not in ("read", "write"):
+            return f"unknown op {request.op!r}"
+        if not 0 <= request.page < self.footprint_pages:
+            return (
+                f"page {request.page} out of range "
+                f"[0, {self.footprint_pages})"
+            )
+        if request.offset < 0 or request.size < 1:
+            return "offset must be >= 0 and size >= 1"
+        if request.offset + request.size > self.page_bytes:
+            return (
+                f"offset+size ({request.offset + request.size}) exceeds "
+                f"page size ({self.page_bytes})"
+            )
+        return None
+
+    def _has_headroom(self, request: ServiceRequest) -> bool:
+        if self.outstanding >= self.max_outstanding:
+            return False
+        target = self.directory.resolve(request.page)
+        return self.sim.inflight_to(target) < self.node_watermark
+
+    def _shed(self, request: ServiceRequest, now: int, reason: str) -> None:
+        self.shed_total += 1
+        self.tenant(request.tenant).shed += 1
+        self._finish(request, now, "shed", reason, count_shed=False)
+
+    def _pick_source(self, tenant: str) -> int | None:
+        """A stable, currently-usable injection node for *tenant*.
+
+        The tenant hashes (CRC32 — stable across processes, unlike
+        ``hash``) onto a ring position; if that node is gated, crashed,
+        or hung, the next usable ring node takes over.  Deterministic
+        given identical fabric state, which replay guarantees.
+        """
+        ring = self._source_ring
+        start = zlib.crc32(tenant.encode()) % len(ring)
+        for step in range(len(ring)):
+            node = ring[(start + step) % len(ring)]
+            if not self.topology.is_active(node):
+                continue
+            if not self.layer.usable_source(node):
+                continue
+            if self.live is not None and not self.live.usable(node):
+                continue
+            return node
+        return None
+
+    def _inject(self, request: ServiceRequest, now: int) -> None:
+        src = self._pick_source(request.tenant)
+        if src is None:
+            self._shed(request, now, "no_usable_source")
+            return
+        request.src_node = src
+        request.status = "inflight"
+        request.t_inject = now
+        self._pending[request.seq] = request
+        self.outstanding += 1
+        self._ensure_reaper(now)
+        target = self.directory.resolve(request.page)
+        if target == src:
+            ruling, _ = self.directory.arrival_ruling(src, request.page)
+            if ruling == "stall":
+                self.stalled += 1
+                self.directory.when_landed(
+                    request.page,
+                    lambda t, r=request, n=src: self._serve(n, r, t),
+                )
+            elif ruling == "lost":
+                self._fail(request, now, "page_lost")
+            else:
+                self.tenant(request.tenant).local_ops += 1
+                self._serve(src, request, now)
+            return
+        self._send_request(src, target, request, now)
+
+    def _send_request(
+        self, src: int, dst: int, request: ServiceRequest, now: int
+    ) -> None:
+        payload = REQUEST_HEADER_BYTES
+        if request.op == "write":
+            payload += request.size
+        packet = Packet(
+            src=src,
+            dst=dst,
+            size_flits=self._config.packet_flits(payload),
+            payload_bytes=payload,
+            kind=(
+                PacketKind.READ_REQ if request.op == "read"
+                else PacketKind.WRITE_REQ
+            ),
+            measured=True,
+            context=("svc", request.seq),
+        )
+        self.sim.send(packet, now)
+
+    # -- delivery ------------------------------------------------------------
+
+    def _on_delivery(self, packet: Packet, now: int) -> None:
+        context = packet.context
+        if not (
+            isinstance(context, tuple) and len(context) == 2
+            and context[0] == "svc"
+        ):
+            return
+        request = self._pending.get(context[1])
+        if request is None or request.status != "inflight":
+            return  # timed out or already completed; late packet ignored
+        if packet.kind in (PacketKind.READ_RESP, PacketKind.WRITE_ACK):
+            self._complete(request, now)
+            return
+        if packet.kind not in (PacketKind.READ_REQ, PacketKind.WRITE_REQ):
+            return
+        node = packet.dst
+        ruling, target = self.directory.arrival_ruling(node, request.page)
+        if ruling == "serve":
+            self._serve(node, request, now)
+        elif ruling == "stall":
+            self.stalled += 1
+            self.directory.when_landed(
+                request.page,
+                lambda t, n=node, r=request: self._serve(n, r, t),
+            )
+        elif ruling == "forward":
+            self.forwarded += 1
+            self._send_request(node, target, request, now)
+        else:  # lost: the page died with an unrecovered crash
+            self._fail(request, now, "page_lost")
+
+    def _serve(self, node: int, request: ServiceRequest, now: int) -> None:
+        """DRAM-service the request at *node*, then answer its source."""
+        if request.status != "inflight":
+            return  # timed out while stalled on a landing page
+        addr = request.page * self.page_bytes + request.offset
+        done = self.memory_node(node).service_bulk(
+            now, self.mapper.local_offset(addr), request.size
+        )
+        self.tenant(request.tenant).bytes_moved += request.size
+        origin = request.src_node
+        if origin == node:
+            # Local page (or a forwarded request that chased the page
+            # home): complete at DRAM completion, no response packet.
+            self.sim.schedule(done, lambda t, r=request: self._complete(r, t))
+            return
+        payload = (
+            request.size if request.op == "read" else REQUEST_HEADER_BYTES
+        )
+        response = Packet(
+            src=node,
+            dst=origin,
+            size_flits=self._config.packet_flits(payload),
+            payload_bytes=payload,
+            kind=(
+                PacketKind.READ_RESP if request.op == "read"
+                else PacketKind.WRITE_ACK
+            ),
+            measured=True,
+            context=("svc", request.seq),
+        )
+        self.sim.send(response, done)
+
+    # -- completion ----------------------------------------------------------
+
+    def _complete(self, request: ServiceRequest, now: int) -> None:
+        if request.status != "inflight":
+            return
+        stats = self.tenant(request.tenant)
+        stats.completed += 1
+        request.latency = now - request.t_submit
+        stats.record_latency(request.latency)
+        self._finish(request, now, "done")
+
+    def _fail(self, request: ServiceRequest, now: int, reason: str) -> None:
+        self.tenant(request.tenant).failed += 1
+        self._finish(request, now, "failed", reason)
+
+    def _finish(
+        self,
+        request: ServiceRequest,
+        now: int,
+        status: str,
+        error: str | None = None,
+        count_shed: bool = True,
+    ) -> None:
+        """Move *request* to a terminal state and fire its callback."""
+        was_inflight = request.status == "inflight"
+        request.status = status
+        request.t_done = now
+        request.error = error
+        self._pending.pop(request.seq, None)
+        if was_inflight:
+            self.outstanding -= 1
+        self.completions.append((request.seq, status, request.latency))
+        if request.on_done is not None:
+            callback, request.on_done = request.on_done, None
+            callback(request)
+        if was_inflight:
+            self._pump_queue(now)
+
+    # -- admission queue -----------------------------------------------------
+
+    def _ensure_pump(self, now: int) -> None:
+        if not self._pump_scheduled and self._queue:
+            self._pump_scheduled = True
+            self.sim.schedule(now + self.pump_interval, self._pump_event)
+
+    def _pump_event(self, now: int) -> None:
+        self._pump_scheduled = False
+        self._pump_queue(now)
+        self._ensure_pump(now)
+
+    def _pump_queue(self, now: int) -> None:
+        """Inject queued requests while headroom lasts (FIFO order)."""
+        while self._queue:
+            head = self._queue[0]
+            if not self._has_headroom(head):
+                break
+            self._queue.popleft()
+            self._inject(head, now)
+
+    def _ensure_reaper(self, now: int) -> None:
+        if not self._reaper_scheduled and (self.outstanding or self._queue):
+            self._reaper_scheduled = True
+            self.sim.schedule(now + self.reaper_interval, self._reaper_event)
+
+    def _reaper_event(self, now: int) -> None:
+        """Time out requests stuck past ``request_timeout`` cycles.
+
+        One periodic event scans the pending set instead of one timer
+        per request, so an idle service holds zero timer events and
+        drains never gallop through stale timers.  A timed-out
+        request's late response is ignored on arrival (the pending-map
+        lookup misses), keeping packet conservation intact.
+        """
+        self._reaper_scheduled = False
+        expired = [
+            r for r in self._pending.values()
+            if now - r.t_submit >= self.request_timeout
+            and r.status in ("inflight", "queued")
+        ]
+        for request in sorted(expired, key=lambda r: r.seq):
+            if request.status == "queued":
+                try:
+                    self._queue.remove(request)
+                except ValueError:
+                    pass
+            self.timeouts += 1
+            self.tenant(request.tenant).failed += 1
+            self._finish(request, now, "timeout", "request_timeout")
+        self._ensure_reaper(now)
+
+    # -- control verbs -------------------------------------------------------
+
+    def scale_down(
+        self,
+        fraction: float | None = None,
+        count: int | None = None,
+        nodes: list[int] | None = None,
+    ) -> dict[str, Any]:
+        """Gate off nodes through the live pipeline, pages migrating out.
+
+        Victims default to the reconfiguration manager's well-spaced
+        candidates.  The operation is asynchronous inside the simulator
+        (block / migrate / switch / revalidate / unblock); poll
+        ``stats`` for ``active_nodes`` to observe completion.
+        """
+        if self.live is None:
+            return {"ok": False, "error": "scale requires a String Figure fabric"}
+        if nodes is None:
+            victims = self.live.select_victims(fraction=fraction, count=count)
+        else:
+            victims = list(nodes)
+        if not victims:
+            return {"ok": False, "error": "no gateable victims"}
+        self.log_entries.append({
+            "kind": "control", "t": self.sim.now, "verb": "scale_down",
+            "nodes": list(victims),
+        })
+        self._gated.extend(victims)
+        self.live.gate_off(victims)
+        return {"ok": True, "verb": "scale_down", "nodes": list(victims)}
+
+    def scale_up(self, nodes: list[int] | None = None) -> dict[str, Any]:
+        """Wake previously gated nodes, pages migrating back in."""
+        if self.live is None:
+            return {"ok": False, "error": "scale requires a String Figure fabric"}
+        victims = list(self._gated) if nodes is None else list(nodes)
+        if not victims:
+            return {"ok": False, "error": "no gated nodes to wake"}
+        self.log_entries.append({
+            "kind": "control", "t": self.sim.now, "verb": "scale_up",
+            "nodes": list(victims),
+        })
+        self._gated = [n for n in self._gated if n not in set(victims)]
+        self.live.gate_on(victims)
+        return {"ok": True, "verb": "scale_up", "nodes": list(victims)}
+
+    def inject_fault(
+        self,
+        kind: str,
+        node: int | None = None,
+        link: list[int] | tuple[int, int] | None = None,
+        duration: int = 0,
+    ) -> dict[str, Any]:
+        """Fire one unplanned fault (PR-5 stack) at the current cycle."""
+        from repro.faults.injector import FaultEvent, FaultPlan
+
+        try:
+            event = FaultEvent(
+                time=self.sim.now,
+                kind=kind,
+                node=node,
+                link=tuple(link) if link is not None else None,
+                duration=duration,
+            )
+        except ValueError as exc:
+            return {"ok": False, "error": str(exc)}
+        self.log_entries.append({
+            "kind": "control", "t": self.sim.now, "verb": "fault",
+            "fault_kind": kind, "node": node,
+            "link": list(link) if link is not None else None,
+            "duration": duration,
+        })
+        self.fault_injector.apply(FaultPlan([event]))
+        return {"ok": True, "verb": "fault", "fault_kind": kind}
+
+    def apply_control(self, entry: dict[str, Any]) -> dict[str, Any]:
+        """Apply one logged control entry (the replay dispatcher)."""
+        verb = entry["verb"]
+        if verb == "scale_down":
+            return self.scale_down(
+                fraction=entry.get("fraction"),
+                count=entry.get("count"),
+                nodes=entry.get("nodes"),
+            )
+        if verb == "scale_up":
+            return self.scale_up(nodes=entry.get("nodes"))
+        if verb == "fault":
+            return self.inject_fault(
+                entry["fault_kind"], node=entry.get("node"),
+                link=entry.get("link"), duration=entry.get("duration", 0),
+            )
+        if verb == "drain":
+            return self.drain()
+        raise ValueError(f"unknown control verb {verb!r}")
+
+    # -- drain / conservation ------------------------------------------------
+
+    def drain(self, max_rounds: int = 64) -> dict[str, Any]:
+        """Stop admitting, run everything to quiescence, check the laws.
+
+        Alternates event-loop drains with fault-layer flushes (a flush
+        releases credits that can re-activate blocked packets) until
+        the heap is empty, the admission queue is spent, and no request
+        is outstanding — then evaluates every conservation invariant.
+        Admission re-opens afterwards, so an operator ``drain`` is a
+        checkpoint, not a shutdown.
+        """
+        self.log_entries.append({
+            "kind": "control", "t": self.sim.now, "verb": "drain",
+        })
+        self.admitting = False
+        flushed = 0
+        for _ in range(max_rounds):
+            if self.sim.pending_events:
+                self.sim.drain()
+            self._pump_queue(self.sim.now)
+            freed = self.layer.flush_stuck()
+            flushed += freed
+            if (
+                not self.sim.pending_events
+                and freed == 0
+                and self.outstanding == 0
+                and not self._queue
+            ):
+                break
+        # Anything still queued found no headroom even at quiescence
+        # (e.g. every source crashed): shed it so accounting closes.
+        while self._queue:
+            self._shed(self._queue.popleft(), self.sim.now, "drain_shed")
+        self.admitting = True
+        stats = self.sim.stats
+        report = {
+            "ok": True,
+            "verb": "drain",
+            "now": self.sim.now,
+            "flushed": flushed,
+            "outstanding": self.outstanding,
+            "queued": len(self._queue),
+            "sent": stats.sent,
+            "delivered": stats.delivered,
+            "dropped": stats.dropped,
+            "conserved": stats.sent == stats.delivered + stats.dropped,
+            "page_conservation": self.directory.check_conservation(),
+            "pages_lost": len(self.directory.lost),
+            "requests_conserved": self._requests_conserved(),
+        }
+        report["all_conserved"] = bool(
+            report["conserved"]
+            and report["page_conservation"]
+            and report["requests_conserved"]
+            and report["outstanding"] == 0
+        )
+        return report
+
+    def _requests_conserved(self) -> bool:
+        """Every submitted request reached exactly one terminal state."""
+        submitted = sum(t.submitted for t in self.tenants.values())
+        return submitted == len(self.completions) + len(self._pending)
+
+    # -- observability -------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe state summary (the ``stats`` verb's response)."""
+        stats = self.sim.stats
+        return {
+            "ok": True,
+            "now": self.sim.now,
+            "nodes": self.topology.num_nodes,
+            "active_nodes": len(self.topology.active_nodes),
+            "outstanding": self.outstanding,
+            "queued": len(self._queue),
+            "admitting": self.admitting,
+            "submitted": sum(t.submitted for t in self.tenants.values()),
+            "completed": sum(t.completed for t in self.tenants.values()),
+            "shed": self.shed_total,
+            "queued_total": self.queued_total,
+            "timeouts": self.timeouts,
+            "forwarded": self.forwarded,
+            "stalled": self.stalled,
+            "sent": stats.sent,
+            "delivered": stats.delivered,
+            "dropped": stats.dropped,
+            "in_flight": stats.in_flight,
+            "pages": len(self.directory.pages),
+            "pages_lost": len(self.directory.lost),
+            "migrations": len(self.engine.records),
+            "faults": len(self.fault_injector.records),
+            "tenants": {
+                name: ts.to_dict() for name, ts in sorted(self.tenants.items())
+            },
+        }
+
+    def digest(self) -> dict[str, Any]:
+        """Determinism fingerprint: equal digests mean bit-identical runs.
+
+        Hashes the full completion history (sequence, terminal state,
+        latency of every request, in completion order) and folds in the
+        network-level counters.  ``sim.now`` is deliberately excluded:
+        the frontier may advance time past the last event while an
+        offline replay stops at it, without any state differing.
+        """
+        h = hashlib.sha256()
+        for seq, status, latency in self.completions:
+            h.update(f"{seq}:{status}:{latency}\n".encode())
+        stats = self.sim.stats
+        return {
+            "completions": h.hexdigest(),
+            "requests": len(self.completions),
+            "sent": stats.sent,
+            "delivered": stats.delivered,
+            "dropped": stats.dropped,
+            "flit_hops": stats.flit_hops,
+            "bit_hops": stats.bit_hops,
+            "shed": self.shed_total,
+            "forwarded": self.forwarded,
+            "stalled": self.stalled,
+            "timeouts": self.timeouts,
+            "tenants": {
+                name: (ts.completed, ts.p50(), ts.p99())
+                for name, ts in sorted(self.tenants.items())
+            },
+        }

@@ -1,0 +1,246 @@
+"""End-to-end service self-test: daemon + real sockets + live verbs.
+
+``repro serve --selftest`` runs this: boot a resident SF fabric behind
+a :class:`~repro.service.daemon.FabricDaemon` on an ephemeral port,
+attack it with N concurrent closed-loop socket clients, issue scale and
+fault verbs mid-traffic from a controller connection, then drain,
+shut down, and verify every property the service mode promises:
+
+* conservation at drain (``sent == delivered + dropped``, page
+  directory intact, every request terminal);
+* admission control engaged under the induced overload (some requests
+  queued or shed);
+* zero pages lost across the scale-down/scale-up cycle;
+* the captured request log replays **bit-identically** (equal
+  :meth:`~repro.service.core.FabricService.digest`).
+
+Returns a process exit code (0 = all checks passed), printing a
+per-tenant accounting table and the check list on the way out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from typing import Any
+
+from repro.service.core import FabricService
+from repro.service.daemon import FabricDaemon
+from repro.service.log import RequestLog, replay
+
+__all__ = ["run_selftest"]
+
+
+async def _client(
+    host: str,
+    port: int,
+    idx: int,
+    requests: int,
+    window: int,
+    footprint_pages: int,
+    results: list[dict[str, Any]],
+) -> None:
+    """One closed-loop tenant: keep *window* requests in flight."""
+    reader, writer = await asyncio.open_connection(host, port)
+    tenant = f"tenant-{idx:02d}"
+    writer.write(
+        json.dumps({"op": "hello", "tenant": tenant}).encode() + b"\n"
+    )
+    await writer.drain()
+    await reader.readline()  # hello ack
+    rng = random.Random(10_000 + idx)
+    sent = done = 0
+
+    async def issue() -> None:
+        """Send one randomized read/write request line."""
+        nonlocal sent
+        op = "read" if rng.random() < 0.7 else "write"
+        message = {
+            "op": op,
+            "page": rng.randrange(footprint_pages),
+            "size": 64,
+            "id": f"{tenant}/{sent}",
+        }
+        writer.write(json.dumps(message).encode() + b"\n")
+        await writer.drain()
+        sent += 1
+
+    while sent < min(window, requests):
+        await issue()
+    while done < requests:
+        line = await reader.readline()
+        if not line:
+            break
+        results.append(json.loads(line))
+        done += 1
+        if sent < requests:
+            await issue()
+    writer.close()
+
+
+async def _controller(host: str, port: int) -> list[dict[str, Any]]:
+    """Mid-traffic operator: scale down, flap a link, scale back up."""
+    replies: list[dict[str, Any]] = []
+    reader, writer = await asyncio.open_connection(host, port)
+
+    async def verb(message: dict[str, Any]) -> None:
+        """Issue one control verb and record its acknowledgement."""
+        writer.write(json.dumps(message).encode() + b"\n")
+        await writer.drain()
+        replies.append(json.loads(await reader.readline()))
+
+    await asyncio.sleep(0.15)
+    await verb({"op": "scale", "direction": "down", "count": 2, "id": "c1"})
+    await asyncio.sleep(0.15)
+    # No explicit link: the seeded injector picks an eligible victim
+    # (never a guaranteed-delivery ring wire), identically on replay.
+    await verb({
+        "op": "fault", "kind": "link_flap", "duration": 400, "id": "c2",
+    })
+    await asyncio.sleep(0.15)
+    await verb({"op": "scale", "direction": "up", "id": "c3"})
+    writer.close()
+    return replies
+
+
+async def _run(
+    nodes: int,
+    clients: int,
+    requests: int,
+    window: int,
+    quantum: int,
+    capture_path: str | None,
+    verify_replay: bool,
+) -> tuple[int, list[str]]:
+    footprint_pages = 256
+    service = FabricService(
+        nodes=nodes,
+        footprint_pages=footprint_pages,
+        # Tight budgets on purpose: the selftest must observe admission
+        # control engaging, so the 32×window offered load has to exceed
+        # the in-flight budget.
+        max_outstanding=max(8, clients * window // 6),
+        node_watermark=4,
+        queue_depth=clients * window,
+    )
+    daemon = FabricDaemon(service, quantum=quantum)
+    host, port = await daemon.start()
+    print(
+        f"selftest: fabric SF N={nodes} resident on {host}:{port}; "
+        f"{clients} clients x {requests} requests (window {window})"
+    )
+
+    responses: list[dict[str, Any]] = []
+    client_tasks = [
+        asyncio.create_task(
+            _client(host, port, i, requests, window, footprint_pages,
+                    responses)
+        )
+        for i in range(clients)
+    ]
+    control_task = asyncio.create_task(_controller(host, port))
+    await asyncio.gather(*client_tasks)
+    control_replies = await control_task
+
+    # Operator epilogue: drain (conservation report), then shutdown.
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(json.dumps({"op": "drain", "id": "final"}).encode() + b"\n")
+    await writer.drain()
+    drain_report = json.loads(await reader.readline())
+    writer.write(json.dumps({"op": "shutdown"}).encode() + b"\n")
+    await writer.drain()
+    await reader.readline()
+    writer.close()
+    await daemon.wait_stopped()
+
+    snapshot = service.snapshot()
+    failures: list[str] = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        """Print one pass/fail line and record failures."""
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}" + (f" — {detail}" if detail else ""))
+        if not ok:
+            failures.append(name)
+
+    print("\nper-tenant accounting:")
+    print(
+        f"  {'tenant':<12} {'sub':>5} {'done':>5} {'shed':>5} "
+        f"{'queued':>6} {'p50':>8} {'p99':>8}"
+    )
+    for name, ts in snapshot["tenants"].items():
+        print(
+            f"  {name:<12} {ts['submitted']:>5} {ts['completed']:>5} "
+            f"{ts['shed']:>5} {ts['queued']:>6} "
+            f"{ts['p50']:>8.1f} {ts['p99']:>8.1f}"
+        )
+    print()
+
+    expected = clients * requests
+    check(
+        "all client responses received",
+        len(responses) == expected,
+        f"{len(responses)}/{expected}",
+    )
+    check(
+        "conservation at drain (packets, pages, requests)",
+        bool(drain_report.get("all_conserved")),
+        f"sent={drain_report.get('sent')} "
+        f"delivered={drain_report.get('delivered')} "
+        f"dropped={drain_report.get('dropped')}",
+    )
+    engaged = snapshot["queued_total"] + snapshot["shed"]
+    check(
+        "admission control engaged under overload",
+        engaged > 0,
+        f"queued={snapshot['queued_total']} shed={snapshot['shed']}",
+    )
+    check(
+        "zero pages lost across scale cycle",
+        snapshot["pages_lost"] == 0,
+        f"migrations={snapshot['migrations']}",
+    )
+    check(
+        "fault fired against live traffic",
+        snapshot["faults"] >= 1,
+        f"faults={snapshot['faults']}",
+    )
+    check(
+        "control verbs acknowledged",
+        all(r.get("ok") for r in control_replies),
+        f"{len(control_replies)} replies",
+    )
+
+    log = RequestLog.capture(service)
+    if capture_path:
+        log.save(capture_path)
+        print(f"  captured request log -> {capture_path}")
+    if verify_replay:
+        replayed = replay(log)
+        check(
+            "captured log replays bit-identically",
+            replayed.digest() == service.digest(),
+            f"{len(log.entries)} log entries",
+        )
+    return (1 if failures else 0), failures
+
+
+def run_selftest(
+    nodes: int = 144,
+    clients: int = 32,
+    requests: int = 24,
+    window: int = 4,
+    quantum: int = 64,
+    capture_path: str | None = None,
+    verify_replay: bool = True,
+) -> int:
+    """Run the full socket-level self-test; returns a process exit code."""
+    code, failures = asyncio.run(
+        _run(nodes, clients, requests, window, quantum, capture_path,
+             verify_replay)
+    )
+    if failures:
+        print(f"selftest FAILED: {', '.join(failures)}")
+    else:
+        print("selftest passed: all checks green")
+    return code

@@ -1,0 +1,145 @@
+"""Replay determinism: captured logs re-run bit-identically."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.core import FabricService
+from repro.service.daemon import FabricDaemon
+from repro.service.log import LOG_VERSION, RequestLog, drive, replay
+from repro.workloads.service import run_service, synthetic_schedule
+
+
+def build(**overrides):
+    params = dict(nodes=36, design="SF", footprint_pages=64)
+    params.update(overrides)
+    return FabricService(**params)
+
+
+class TestLogFormat:
+    def test_save_load_round_trip(self, tmp_path):
+        svc = build()
+        svc.submit("a", "read", 1)
+        svc.advance(100)
+        svc.submit("b", "write", 2, size=128)
+        svc.drain()
+        path = str(tmp_path / "cap.jsonl")
+        log = RequestLog.capture(svc)
+        log.save(path)
+        loaded = RequestLog.load(path)
+        assert loaded.config == log.config
+        assert loaded.entries == log.entries
+
+    def test_load_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "request", "t": 0}\n')
+        with pytest.raises(ValueError, match="no header"):
+            RequestLog.load(str(path))
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({
+            "kind": "header", "version": LOG_VERSION + 1, "config": {},
+        }) + "\n")
+        with pytest.raises(ValueError, match="version"):
+            RequestLog.load(str(path))
+
+
+class TestSerialReplay:
+    def test_synthetic_run_replays_bit_identically(self):
+        result = run_service(
+            nodes=64, tenants=6, requests_per_tenant=30, rate=0.08,
+            footprint_pages=128, keep_service=True,
+        )
+        log = RequestLog.capture(result.service)
+        replayed = replay(log)
+        assert replayed.digest() == result.digest
+
+    def test_replay_with_scale_and_fault_verbs(self):
+        result = run_service(
+            nodes=64, tenants=4, requests_per_tenant=40, rate=0.05,
+            footprint_pages=128, scale_at=800, scale_count=2,
+            scale_back_after=3_000, fault_at=1_500, fault_kind="link_flap",
+            keep_service=True,
+        )
+        assert result.drain_report["all_conserved"]
+        log = RequestLog.capture(result.service)
+        replayed = replay(log)
+        assert replayed.digest() == result.digest
+
+    def test_different_seeds_differ(self):
+        a = run_service(nodes=36, tenants=4, requests_per_tenant=20,
+                        rate=0.1, footprint_pages=64, seed=0)
+        b = run_service(nodes=36, tenants=4, requests_per_tenant=20,
+                        rate=0.1, footprint_pages=64, seed=1)
+        assert a.digest["completions"] != b.digest["completions"]
+
+    def test_same_seed_is_reproducible(self):
+        kwargs = dict(nodes=36, tenants=4, requests_per_tenant=20,
+                      rate=0.1, footprint_pages=64, seed=3)
+        assert run_service(**kwargs).digest == run_service(**kwargs).digest
+
+    def test_schedule_is_deterministic(self):
+        a = synthetic_schedule(tenants=3, requests_per_tenant=10, seed=5)
+        b = synthetic_schedule(tenants=3, requests_per_tenant=10, seed=5)
+        assert a == b
+        assert all(
+            a[i]["t"] <= a[i + 1]["t"] for i in range(len(a) - 1)
+        )
+
+    def test_drive_rejects_unknown_entry_kind(self):
+        svc = build()
+        with pytest.raises(ValueError, match="unknown log entry"):
+            drive(svc, [{"kind": "mystery", "t": 0}])
+
+
+class TestAsyncioIngestedReplay:
+    def test_daemon_ingested_log_replays_bit_identically(self):
+        """The tentpole determinism property, end to end.
+
+        Requests ingested through real asyncio sockets — with whatever
+        wall-clock interleaving the loop produced — are captured and
+        re-run serially; the digests must match exactly.
+        """
+
+        async def scenario() -> FabricService:
+            service = build(nodes=64, footprint_pages=128,
+                            max_outstanding=8, node_watermark=2)
+            daemon = FabricDaemon(service, quantum=32)
+            host, port = await daemon.start()
+
+            async def client(idx: int) -> None:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(json.dumps(
+                    {"op": "hello", "tenant": f"t{idx}"}
+                ).encode() + b"\n")
+                await writer.drain()
+                await reader.readline()
+                for i in range(15):
+                    writer.write(json.dumps({
+                        "op": "read" if (idx + i) % 3 else "write",
+                        "page": (idx * 31 + i * 7) % 128,
+                        "id": f"t{idx}/{i}",
+                    }).encode() + b"\n")
+                    await writer.drain()
+                    await reader.readline()
+                writer.close()
+
+            await asyncio.gather(*[client(i) for i in range(6)])
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(json.dumps({"op": "shutdown"}).encode() + b"\n")
+            await writer.drain()
+            report = json.loads(await reader.readline())
+            assert report["all_conserved"]
+            writer.close()
+            await daemon.wait_stopped()
+            return service
+
+        service = asyncio.run(scenario())
+        log = RequestLog.capture(service)
+        assert len([e for e in log.entries if e["kind"] == "request"]) == 90
+        replayed = replay(log)
+        assert replayed.digest() == service.digest()

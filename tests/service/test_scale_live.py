@@ -1,0 +1,99 @@
+"""Live control verbs against a serving fabric: scale, fault, drain."""
+
+from __future__ import annotations
+
+from repro.service.core import FabricService
+from repro.service.log import RequestLog, drive, replay
+from repro.workloads.service import synthetic_schedule
+
+
+def build(**overrides):
+    params = dict(nodes=64, design="SF", footprint_pages=128)
+    params.update(overrides)
+    return FabricService(**params)
+
+
+class TestScaleMidTraffic:
+    def test_scale_down_loses_zero_pages(self):
+        svc = build()
+        entries = synthetic_schedule(
+            tenants=6, requests_per_tenant=40, rate=0.06,
+            footprint_pages=128, seed=2, scale_at=600, scale_count=2,
+        )
+        drive(svc, entries)
+        report = svc.drain()
+        assert report["all_conserved"]
+        assert report["pages_lost"] == 0
+        assert len(svc.engine.records) >= 1  # pages really moved
+        snap = svc.snapshot()
+        assert snap["active_nodes"] == 62
+        assert snap["completed"] == snap["submitted"] - snap["shed"]
+
+    def test_scale_cycle_restores_capacity(self):
+        svc = build()
+        down = svc.scale_down(count=2)
+        assert down["ok"]
+        svc.advance(20_000)
+        up = svc.scale_up()
+        assert up["ok"] and up["nodes"] == down["nodes"]
+        svc.advance(20_000)
+        svc.drain()
+        assert len(svc.topology.active_nodes) == 64
+        assert svc.directory.check_conservation()
+        assert len(svc.directory.lost) == 0
+
+    def test_scale_rejected_on_non_reconfigurable_design(self):
+        svc = build(design="DM", nodes=64)
+        result = svc.scale_down(count=2)
+        assert not result["ok"]
+        assert "String Figure" in result["error"]
+
+    def test_requests_to_gated_node_still_served(self):
+        svc = build()
+        victims = svc.scale_down(count=2)["nodes"]
+        victim_pages = [
+            p for p in svc.directory.pages
+            if svc.directory.owner_of(p) in victims
+        ]
+        assert victim_pages
+        svc.advance(50)  # mid-migration
+        reqs = [svc.submit("a", "read", p) for p in victim_pages[:8]]
+        svc.advance(60_000)
+        svc.drain()
+        assert all(r.status == "done" for r in reqs)
+
+    def test_scale_replays_bit_identically(self):
+        svc = build()
+        entries = synthetic_schedule(
+            tenants=4, requests_per_tenant=30, rate=0.08,
+            footprint_pages=128, seed=9, scale_at=400, scale_count=2,
+            scale_back_after=5_000,
+        )
+        drive(svc, entries)
+        svc.drain()
+        replayed = replay(RequestLog.capture(svc))
+        assert replayed.digest() == svc.digest()
+
+
+class TestFaultMidTraffic:
+    def test_crash_with_mirroring_recovers_pages(self):
+        svc = build()
+        entries = synthetic_schedule(
+            tenants=4, requests_per_tenant=30, rate=0.05,
+            footprint_pages=128, seed=4, fault_at=900,
+            fault_kind="node_crash",
+        )
+        drive(svc, entries)
+        report = svc.drain()
+        assert report["conserved"]  # packet law holds even under loss
+        assert report["pages_lost"] == 0  # mirrored recovery rehomed them
+        assert len(svc.fault_injector.records) == 1
+
+    def test_drain_is_checkpoint_not_shutdown(self):
+        svc = build()
+        svc.submit("a", "read", 1)
+        first = svc.drain()
+        assert first["all_conserved"]
+        req = svc.submit("a", "read", 2)  # admission re-opened
+        svc.advance(5_000)
+        assert req.status == "done"

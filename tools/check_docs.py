@@ -1,0 +1,134 @@
+"""Smoke-run the shell code fences in markdown docs.
+
+Every fenced block tagged ``sh`` (or ``bash``) is executed as a
+``bash -e`` script from the repository root, with ``PYTHONPATH=src``
+and a ``repro`` shim (``python -m repro``) prepended so documented
+commands run without installation.  Blocks tagged ``sh noexec`` are
+skipped — reserved for commands that are too slow or mutate the
+environment (``pip install``, full test suites, paper-scale grids) —
+and untagged/other-language fences (output transcripts, JSON, python)
+are ignored.  GitHub renders ``sh noexec`` identically to ``sh``, so
+skipping costs the reader nothing.
+
+Usage::
+
+    python tools/check_docs.py README.md docs/*.md
+    python tools/check_docs.py --list README.md     # show blocks only
+
+Exit status is nonzero if any block fails, printing the failing block
+and its output — this is the docs CI gate, keeping every copy-pasteable
+command in README/docs actually runnable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+PREAMBLE = """\
+set -e
+export PYTHONPATH="{repo}/src${{PYTHONPATH:+:$PYTHONPATH}}"
+cd "{repo}"
+repro() {{ python -m repro "$@"; }}
+"""
+
+RUN_TAGS = {"sh", "bash"}
+SKIP_TAGS = {"sh noexec", "bash noexec"}
+
+
+def extract_blocks(path: Path) -> list[tuple[int, str, str]]:
+    """Return (start_line, info_string, body) for every fenced block."""
+    blocks = []
+    info = None
+    body: list[str] = []
+    start = 0
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            if info is None:
+                info = stripped[3:].strip()
+                start = lineno
+                body = []
+            else:
+                blocks.append((start, info, "\n".join(body)))
+                info = None
+        elif info is not None:
+            body.append(line)
+    if info is not None:
+        raise SystemExit(f"{path}: unterminated code fence at line {start}")
+    return blocks
+
+
+def run_block(body: str, timeout: float) -> subprocess.CompletedProcess:
+    script = PREAMBLE.format(repo=REPO_ROOT) + body + "\n"
+    return subprocess.run(
+        ["bash", "-c", script],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=REPO_ROOT,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="markdown files to check")
+    parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="per-block timeout in seconds (default 600)",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list runnable/skipped blocks without executing",
+    )
+    args = parser.parse_args(argv)
+
+    failures = 0
+    ran = skipped = 0
+    for name in args.files:
+        path = Path(name)
+        if not path.exists():
+            print(f"FAIL {name}: no such file")
+            failures += 1
+            continue
+        for start, info, body in extract_blocks(path):
+            tag = info.strip().lower()
+            if tag in SKIP_TAGS:
+                skipped += 1
+                if args.list:
+                    print(f"skip {name}:{start} [{info}]")
+                continue
+            if tag not in RUN_TAGS:
+                continue
+            if args.list:
+                print(f"run  {name}:{start} [{info}]")
+                continue
+            ran += 1
+            print(f"run  {name}:{start} ...", flush=True)
+            try:
+                proc = run_block(body, args.timeout)
+            except subprocess.TimeoutExpired:
+                print(f"FAIL {name}:{start}: timed out after "
+                      f"{args.timeout:.0f}s\n{body}")
+                failures += 1
+                continue
+            if proc.returncode != 0:
+                failures += 1
+                print(f"FAIL {name}:{start} (exit {proc.returncode})")
+                print("  | " + body.replace("\n", "\n  | "))
+                tail = (proc.stdout + proc.stderr).strip().splitlines()[-20:]
+                for line in tail:
+                    print(f"  > {line}")
+    if args.list:
+        return 0
+    print(f"docs check: {ran} blocks ran, {skipped} skipped, "
+          f"{failures} failed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
