@@ -99,7 +99,10 @@ async def _measure_point(nodes: int, clients: int, requests: int) -> dict:
     drain_report = service.drain()
     await daemon.stop()
     snapshot = service.snapshot()
-    tenant_rows = [t for t in snapshot["tenants"].values() if t["completed"]]
+    # Worst per-tenant percentiles come from the drain report's
+    # ``latency`` block (FabricService.latency_summary) — the single
+    # sketch-backed path shared with the daemon and the report tables.
+    latency = drain_report["latency"]
     total = len(responses)
     return {
         "clients": clients,
@@ -107,8 +110,8 @@ async def _measure_point(nodes: int, clients: int, requests: int) -> dict:
         "wall_s": round(wall_s, 4),
         "requests_per_sec": round(total / wall_s, 1) if wall_s else 0.0,
         "sim_cycles": snapshot["now"],
-        "p50_max": max((t["p50"] for t in tenant_rows), default=0.0),
-        "p99_max": max((t["p99"] for t in tenant_rows), default=0.0),
+        "p50_max": latency["p50_max"],
+        "p99_max": latency["p99_max"],
         "queued": snapshot["queued_total"],
         "shed": snapshot["shed"],
         "conserved": bool(drain_report["all_conserved"]),
@@ -156,6 +159,11 @@ def main(argv: list[str] | None = None) -> int:
     else:
         grid = QUICK_CLIENTS if quick else FULL_CLIENTS
     out = Path(args.out) if args.out else (QUICK_OUT if quick else DEFAULT_OUT)
+
+    from repro.obs.canary import run_canary
+
+    canary = run_canary()
+    print(f"canary: {canary['kops']:,.0f} kops/s (machine-speed baseline)\n")
     points = measure(args.nodes, grid, args.requests)
     if not all(p["conserved"] for p in points):
         print("FAIL: conservation violated at drain", file=sys.stderr)
@@ -165,6 +173,7 @@ def main(argv: list[str] | None = None) -> int:
         "label": args.label or ("quick" if quick else "full"),
         "nodes": args.nodes,
         "requests_per_client": args.requests,
+        "canary_kops": round(canary["kops"], 1),
         "points": points,
     })
     RESULTS_DIR.mkdir(exist_ok=True)

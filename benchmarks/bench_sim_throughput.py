@@ -129,21 +129,36 @@ def load_trajectory(path: Path) -> dict:
         )
 
 
-def compare(previous: list[dict], current: list[dict]) -> None:
+def compare(previous: dict, current: dict) -> None:
+    """Point-by-point comparison, raw and canary-normalized.
+
+    The canary (``repro.obs.canary``) measures machine speed with a
+    frozen workload; dividing the raw ev/s ratio by the canary ratio
+    separates simulator changes from running on different hardware.
+    Trajectory entries recorded before the canary existed show ``-``
+    in the normalized column.
+    """
     by_key = {
         (p["design"], p["nodes"]): p
-        for p in previous if "events_per_sec" in p
+        for p in previous.get("results", []) if "events_per_sec" in p
     }
+    old_canary = previous.get("canary_kops")
+    new_canary = current.get("canary_kops")
     lines = []
-    for point in current:
+    for point in current["results"]:
         old = by_key.get((point["design"], point["nodes"]))
         if old is None or "events_per_sec" not in point:
             continue
         ratio = point["events_per_sec"] / old["events_per_sec"]
+        if old_canary and new_canary:
+            norm = f"{ratio * old_canary / new_canary:.2f}x"
+        else:
+            norm = "-"
         lines.append(
             f"  {point['design']:>9s} N={point['nodes']:<5d} "
             f"{old['events_per_sec']:>12,.0f} -> "
-            f"{point['events_per_sec']:>12,.0f} ev/s  ({ratio:.2f}x)"
+            f"{point['events_per_sec']:>12,.0f} ev/s  "
+            f"({ratio:.2f}x raw, {norm} canary-normalized)"
         )
     if lines:
         print("\nvs previous recorded run:")
@@ -159,19 +174,25 @@ def main(argv=None) -> int:
         nodes = QUICK_NODES if args.quick else FULL_NODES
     out = Path(args.out) if args.out else (QUICK_OUT if args.quick else DEFAULT_OUT)
 
+    from repro.obs.canary import run_canary
+
     trajectory = load_trajectory(out)  # fail on corruption before measuring
+    canary = run_canary()
+    print(f"canary: {canary['kops']:,.0f} kops/s (machine-speed baseline)\n")
     start = time.perf_counter()
     points = measure(designs, nodes, args.repeats)
     elapsed = time.perf_counter() - start
-    if trajectory["runs"]:
-        compare(trajectory["runs"][-1]["results"], points)
-    trajectory["runs"].append({
+    run_entry = {
         "label": args.label or ("quick" if args.quick else "full"),
         "scale": "quick" if args.quick else "full",
         "repeats": args.repeats,
         "elapsed_s": round(elapsed, 1),
+        "canary_kops": round(canary["kops"], 1),
         "results": points,
-    })
+    }
+    if trajectory["runs"]:
+        compare(trajectory["runs"][-1], run_entry)
+    trajectory["runs"].append(run_entry)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
     print(f"\ntrajectory: {out} ({len(trajectory['runs'])} recorded runs, "

@@ -30,6 +30,12 @@ Four subcommands cover the library's main entry points:
   over a designs x scales grid; the benchmark harness records these
   points as the repo's tracked performance trajectory
   (``benchmarks/results/sim_throughput.json``).
+* ``trace`` — one instrumented experiment point of any kind: installs
+  the observability probes (metrics registry, cycle-domain timeseries,
+  packet flight recorder) and emits artifacts — timeseries JSONL,
+  Chrome/Perfetto trace JSON, metrics snapshot + Prometheus text —
+  then verifies that summed per-interval counter deltas reconcile
+  exactly with the final totals (see ``docs/OBSERVABILITY.md``).
 * ``serve`` — the simulator as a long-running daemon: a resident
   fabric accepts concurrent client read/write streams over a
   newline-JSON TCP socket, with admission control, per-tenant p50/p99,
@@ -321,6 +327,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="also dump raw task payloads as JSON",
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="run one instrumented point and emit observability "
+             "artifacts (metrics, timeseries, packet trace; "
+             "docs/OBSERVABILITY.md)",
+    )
+    trace.add_argument(
+        "--kind", default="synthetic",
+        choices=("synthetic", "churn", "migration", "faults", "service",
+                 "perf"),
+        help="experiment kind to run under probes",
+    )
+    trace.add_argument("--design", default="SF")
+    trace.add_argument("--nodes", type=int, default=144)
+    trace.add_argument("--pattern", default="uniform_random")
+    trace.add_argument("--rate", type=float, default=0.1)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--topology-seed", type=int, default=0)
+    trace.add_argument("--ports", type=int, default=None)
+    trace.add_argument("--warmup", type=int, default=None)
+    trace.add_argument("--measure", type=int, default=None)
+    trace.add_argument("--drain-limit", type=int, default=None)
+    trace.add_argument(
+        "--sample-interval", type=int, default=256,
+        help="timeseries sampling interval in simulated cycles",
+    )
+    trace.add_argument(
+        "--trace-fraction", type=float, default=0.02,
+        help="fraction of packets flight-recorded (seeded hash sample)",
+    )
+    trace.add_argument("--trace-seed", type=int, default=0)
+    trace.add_argument(
+        "--ring", type=int, default=256,
+        help="post-mortem ring: last N heap events kept",
+    )
+    trace.add_argument(
+        "--max-trace-records", type=int, default=250_000,
+        help="flight-recorder hop-record bound (excess counted, not kept)",
+    )
+    trace.add_argument(
+        "--out-dir", default="trace-out", metavar="DIR",
+        help="artifact directory (created if missing)",
+    )
+
     serve = sub.add_parser(
         "serve",
         help="resident fabric daemon over newline-JSON TCP "
@@ -361,6 +411,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--replay", default=None, metavar="FILE",
         help="re-run a captured request log bit-identically and exit",
+    )
+    serve.add_argument(
+        "--metrics", action="store_true",
+        help="install observability probes at boot (the `metrics` verb "
+             "installs them lazily on first scrape otherwise)",
     )
     serve.add_argument(
         "--selftest", action="store_true",
@@ -877,6 +932,144 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Run one instrumented point; emit metrics/timeseries/trace artifacts."""
+    import json
+    import re
+    from pathlib import Path
+
+    from repro.experiments import ExperimentSpec
+    from repro.experiments.worker import execute_task
+    from repro.obs import FabricProbes
+
+    sim_params = {}
+    for name in ("warmup", "measure", "drain_limit"):
+        value = getattr(args, name)
+        if value is not None:
+            sim_params[name] = value
+    if args.kind == "perf":
+        # One timed repeat: a second repeat would hand a *fresh*
+        # simulator to the same probes and split counters across runs.
+        sim_params["repeats"] = 1
+    topology_params = {}
+    if args.ports is not None:
+        topology_params["ports"] = args.ports
+    spec = ExperimentSpec(
+        name="cli-trace",
+        kind=args.kind,
+        designs=(args.design,),
+        nodes=(args.nodes,),
+        patterns=(args.pattern,),
+        rates=(args.rate,),
+        seeds=(args.seed,),
+        topology_seed=args.topology_seed,
+        sim_params=sim_params,
+        topology_params=topology_params,
+    )
+    task = spec.tasks()[0]
+
+    probes = FabricProbes.full(
+        interval=args.sample_interval,
+        fraction=args.trace_fraction,
+        seed=args.trace_seed,
+        ring_size=args.ring,
+        max_records=args.max_trace_records,
+    )
+    attached: dict[str, object] = {}
+
+    def instrument(obj) -> None:
+        """Attach probes to whatever the runner built (sim or service)."""
+        if hasattr(obj, "sim"):  # FabricService: full-stack wiring
+            obj.install_probes(probes)
+            attached["sim"] = obj.sim
+        else:
+            probes.attach_sim(obj)
+            attached["sim"] = obj
+
+    payload = execute_task(task, instrument=instrument)
+    if payload.get("unsupported"):
+        print(f"unsupported point: {payload.get('error')}")
+        return 1
+    sim = attached.get("sim")
+    if sim is None:
+        print(f"kind {args.kind!r} never built an instrumentable run")
+        return 1
+    probes.finish(sim.now)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    base = re.sub(r"[^A-Za-z0-9._-]+", "-", task.label()).strip("-")
+    recorder, tracer, registry = probes.recorder, probes.tracer, probes.registry
+    artifacts = {
+        "timeseries": out_dir / f"{base}.timeseries.jsonl",
+        "chrome trace": out_dir / f"{base}.trace.json",
+        "trace jsonl": out_dir / f"{base}.trace.jsonl",
+        "metrics json": out_dir / f"{base}.metrics.json",
+        "prometheus": out_dir / f"{base}.metrics.prom",
+        "summary": out_dir / f"{base}.summary.json",
+    }
+    recorder.write_jsonl(artifacts["timeseries"])
+    tracer.write_chrome(artifacts["chrome trace"])
+    tracer.write_jsonl(artifacts["trace jsonl"])
+    artifacts["metrics json"].write_text(
+        json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n"
+    )
+    artifacts["prometheus"].write_text(registry.to_prometheus())
+    obs = probes.summary()
+    artifacts["summary"].write_text(json.dumps(
+        {"task": task.to_dict(), "payload": payload, "obs": obs},
+        indent=2, sort_keys=True, default=str,
+    ) + "\n")
+
+    print(f"{task.label()} — instrumented run complete @ cycle {sim.now}")
+    print(f"  events processed:  {obs['events_processed']} {obs['events']}")
+    print(f"  credit stalls:     {obs['credit_stalls']}, queue high-water "
+          f"{obs['occupancy_highwater']} pkts")
+    print(f"  timeseries rows:   {obs.get('ts_rows', 0)} "
+          f"(interval {args.sample_interval} cycles)")
+    print(f"  trace records:     {obs.get('trace_records', 0)} "
+          f"({obs.get('trace_dropped', 0)} dropped), "
+          f"ring {len(tracer.ring)} events")
+    for name, path in artifacts.items():
+        print(f"  {name:16s} -> {path}")
+
+    # The standard report table for this kind, with the observability
+    # roll-up riding along as generic ``obs_`` columns.
+    from repro.experiments.report import sweep_table
+
+    table_payload = {
+        **payload,
+        "obs_events": obs["events_processed"],
+        "obs_stalls": obs["credit_stalls"],
+        "obs_q_hw": obs["occupancy_highwater"],
+        "obs_ts_rows": obs.get("ts_rows", 0),
+        "obs_trace_recs": obs.get("trace_records", 0),
+    }
+    print()
+    print(sweep_table([(task, table_payload)]))
+    print()
+
+    # Acceptance invariant: per-interval timeseries deltas must sum
+    # exactly to the final counter totals of the same run.
+    sums = recorder.sum_counters()
+    finals = {
+        s.key: s.value for s in registry.collect() if s.kind == "counter"
+    }
+    bad = {
+        key: (sums.get(key, 0), value)
+        for key, value in finals.items()
+        if sums.get(key, 0) != value
+    }
+    if bad:
+        print("  RECONCILIATION FAILED:")
+        for key, (got, want) in sorted(bad.items()):
+            print(f"    {key}: timeseries sum {got} != final {want}")
+        return 1
+    print(f"  reconciliation:    ok ({len(finals)} counters: timeseries "
+          "sums == final totals)")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """Run the fabric daemon, a log replay, or the socket self-test."""
     if args.selftest:
@@ -930,6 +1123,8 @@ def _cmd_serve(args) -> int:
         queue_depth=args.queue_depth,
         node_watermark=args.node_watermark,
     )
+    if args.metrics:
+        service.install_probes()
 
     async def _serve() -> None:
         daemon = FabricDaemon(
@@ -967,6 +1162,7 @@ _COMMANDS = {
     "migrate": _cmd_migrate,
     "faults": _cmd_faults,
     "perf": _cmd_perf,
+    "trace": _cmd_trace,
     "serve": _cmd_serve,
 }
 

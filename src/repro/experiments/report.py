@@ -37,7 +37,16 @@ def _fmt(value: Any, spec: str = ".2f") -> str:
     return str(value)
 
 
-def _row(task: ExperimentTask, payload: dict[str, Any]) -> list[str]:
+def _row(
+    task: ExperimentTask, payload: dict[str, Any],
+    extra: tuple[str, ...] = (),
+) -> list[str]:
+    row = _kind_row(task, payload)
+    row.extend(_fmt(payload.get(key)) for key in extra)
+    return row
+
+
+def _kind_row(task: ExperimentTask, payload: dict[str, Any]) -> list[str]:
     unsupported = payload.get("unsupported")
     if task.kind == "synthetic":
         return [
@@ -118,7 +127,8 @@ def _row(task: ExperimentTask, payload: dict[str, Any]) -> list[str]:
                 None if unsupported
                 else payload.get("requests_per_kcycle"), ".1f"
             ),
-            _fmt(None if unsupported else payload.get("p50_max"), ".0f"),
+            _fmt(None if unsupported else payload.get("p50"), ".0f"),
+            _fmt(None if unsupported else payload.get("p99"), ".0f"),
             _fmt(None if unsupported else payload.get("p99_max"), ".0f"),
             _fmt(None if unsupported else payload.get("pages_lost")),
             _fmt(None if unsupported else payload.get("conserved")),
@@ -160,20 +170,30 @@ _HEADERS = {
     "perf": ["design", "N", "pattern", "rate", "seed", "events",
              "wall_s", "events/s", "delivered", "avg_lat"],
     "service": ["design", "N", "rate", "seed", "submitted", "done", "shed",
-                "queued", "req/kcyc", "p50_max", "p99_max", "pg_lost",
+                "queued", "req/kcyc", "p50", "p99", "p99_max", "pg_lost",
                 "conserved"],
 }
 
 
 def sweep_table(result: SweepResult) -> str:
-    """Render a whole sweep, one table section per task kind."""
+    """Render a whole sweep, one table section per task kind.
+
+    Payload keys prefixed ``obs_`` (added by instrumented runs — the
+    ``repro trace`` CLI and the benchmark harness) become extra columns
+    appended after the kind's standard set, so observability fields
+    ride along without a per-kind schema change.
+    """
     sections: list[str] = []
     for kind in _HEADERS:
         pairs = [(t, p) for t, p in result if t.kind == kind]
         if not pairs:
             continue
-        rows = [_row(task, payload) for task, payload in pairs]
-        sections.append(render_table(_HEADERS[kind], rows))
+        extra = tuple(sorted(
+            {key for _, p in pairs for key in p if key.startswith("obs_")}
+        ))
+        header = _HEADERS[kind] + [key[len("obs_"):] for key in extra]
+        rows = [_row(task, payload, extra) for task, payload in pairs]
+        sections.append(render_table(header, rows))
     return "\n\n".join(sections)
 
 

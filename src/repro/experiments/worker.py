@@ -57,12 +57,19 @@ def _stats_payload(stats) -> dict[str, Any]:
     }
 
 
-def execute_task(task: ExperimentTask) -> dict[str, Any]:
-    """Run one task to completion and return its payload."""
+def execute_task(task: ExperimentTask, instrument=None) -> dict[str, Any]:
+    """Run one task to completion and return its payload.
+
+    ``instrument`` (optional) is forwarded to runners that build a
+    simulator or service: it is called with the freshly built object
+    before traffic starts, which is how ``repro trace`` attaches
+    observability probes.  Kinds without a single instrumentable run
+    (``saturation``, ``workload``, ``path_stats``) ignore it.
+    """
     runner = _RUNNERS.get(task.kind)
     if runner is None:
         raise ValueError(f"unknown task kind {task.kind!r}")
-    return runner(task)
+    return runner(task, instrument)
 
 
 def _build_policy(task: ExperimentTask):
@@ -71,7 +78,7 @@ def _build_policy(task: ExperimentTask):
     )
 
 
-def _run_synthetic(task: ExperimentTask) -> dict[str, Any]:
+def _run_synthetic(task: ExperimentTask, instrument=None) -> dict[str, Any]:
     from repro.traffic.injection import run_synthetic
     from repro.traffic.patterns import make_pattern
 
@@ -90,13 +97,14 @@ def _run_synthetic(task: ExperimentTask) -> dict[str, Any]:
         drain_limit=task.sim("drain_limit", 40_000),
         payload_bytes=task.sim("payload_bytes", 64),
         seed=task.seed,
+        instrument=instrument,
     )
     payload = _stats_payload(stats)
     payload["radix"] = _radix_of(topo)
     return payload
 
 
-def _run_saturation(task: ExperimentTask) -> dict[str, Any]:
+def _run_saturation(task: ExperimentTask, instrument=None) -> dict[str, Any]:
     from repro.analysis.saturation import find_saturation
     from repro.traffic.patterns import make_pattern
 
@@ -121,7 +129,7 @@ def _run_saturation(task: ExperimentTask) -> dict[str, Any]:
     return {"saturation_rate": rate}
 
 
-def _run_workload(task: ExperimentTask) -> dict[str, Any]:
+def _run_workload(task: ExperimentTask, instrument=None) -> dict[str, Any]:
     from repro.workloads.runner import run_workload
 
     try:
@@ -169,7 +177,7 @@ def _run_workload(task: ExperimentTask) -> dict[str, Any]:
     }
 
 
-def _run_churn(task: ExperimentTask) -> dict[str, Any]:
+def _run_churn(task: ExperimentTask, instrument=None) -> dict[str, Any]:
     """One live-reconfiguration scenario under synthetic traffic.
 
     Reconfiguration mutates topology and routing tables, so this runner
@@ -242,13 +250,14 @@ def _run_churn(task: ExperimentTask) -> dict[str, Any]:
         payload_bytes=task.sim("payload_bytes", 64),
         window_cycles=task.sim("window", 200),
         granularity_ns=task.sim("granularity_ns"),
+        instrument=instrument,
     )
     payload = result.payload()
     payload["radix"] = _radix_of(topo)
     return payload
 
 
-def _run_migration(task: ExperimentTask) -> dict[str, Any]:
+def _run_migration(task: ExperimentTask, instrument=None) -> dict[str, Any]:
     """One gate-off/wake cycle with real (or teleported) data movement.
 
     Like ``churn``, the scenario mutates topology and routing tables,
@@ -294,13 +303,14 @@ def _run_migration(task: ExperimentTask) -> dict[str, Any]:
         measure=measure,
         drain_limit=task.sim("drain_limit", 80_000),
         seed=task.seed,
+        instrument=instrument,
     )
     payload = result.payload()
     payload["radix"] = _radix_of(topo)
     return payload
 
 
-def _run_faults(task: ExperimentTask) -> dict[str, Any]:
+def _run_faults(task: ExperimentTask, instrument=None) -> dict[str, Any]:
     """One unplanned-failure scenario under synthetic traffic.
 
     Faults mutate the topology (crash excision), routing tables, and —
@@ -364,13 +374,14 @@ def _run_faults(task: ExperimentTask) -> dict[str, Any]:
         seed=task.seed,
         payload_bytes=task.sim("payload_bytes", 64),
         window_cycles=task.sim("window", 200),
+        instrument=instrument,
     )
     payload = result.payload()
     payload["radix"] = _radix_of(topo)
     return payload
 
 
-def _run_perf(task: ExperimentTask) -> dict[str, Any]:
+def _run_perf(task: ExperimentTask, instrument=None) -> dict[str, Any]:
     """One simulator-throughput measurement (the perf trajectory).
 
     Times the event loop of a synthetic run — topology and policy are
@@ -412,6 +423,8 @@ def _run_perf(task: ExperimentTask) -> dict[str, Any]:
         sim = NetworkSimulator(
             topo, policy, sample_free=sample_free, eager_link_events=eager,
         )
+        if instrument is not None:
+            instrument(sim)
         injector = BernoulliInjector(
             sim, pattern, task.rate,
             warmup=warmup, measure=measure,
@@ -447,7 +460,7 @@ def _run_perf(task: ExperimentTask) -> dict[str, Any]:
     return best
 
 
-def _run_path_stats(task: ExperimentTask) -> dict[str, Any]:
+def _run_path_stats(task: ExperimentTask, instrument=None) -> dict[str, Any]:
     from repro.analysis.paths import greedy_path_stats
     from repro.core.topology import StringFigureTopology
 
@@ -482,7 +495,7 @@ def _run_path_stats(task: ExperimentTask) -> dict[str, Any]:
     return payload
 
 
-def _run_service(task: ExperimentTask) -> dict[str, Any]:
+def _run_service(task: ExperimentTask, instrument=None) -> dict[str, Any]:
     """One multi-tenant fabric-service load point (offline, no sockets).
 
     Builds the full resident-service stack fresh (the control verbs
@@ -519,6 +532,7 @@ def _run_service(task: ExperimentTask) -> dict[str, Any]:
             fault_at=task.sim("fault_at"),
             fault_kind=task.sim("fault_kind", "node_crash"),
             fault_node=task.sim("fault_node"),
+            instrument=instrument,
         )
     except ValueError as exc:
         return {"unsupported": True, "error": str(exc)}

@@ -35,6 +35,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.network.simulator import NetworkSimulator
+from repro.network.stats import QuantileSketch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultRecord
@@ -241,6 +242,9 @@ class FaultDetector:
         self.sweep_horizon = sweep_horizon
         self.detections = 0
         self.absorbed_flaps = 0
+        #: Exact fault->detection latency histogram (cycles); cheap
+        #: always-on accounting surfaced by the observability probes.
+        self.detection_latency = QuantileSketch()
         if live is not None and isinstance(repair, TableRepair):
             # Reconfiguration rebuilds tables from the physically
             # intact topology, resurrecting entries for failed wires;
@@ -303,6 +307,7 @@ class FaultDetector:
                 return
             record.t_detected = now
             self.detections += 1
+            self.detection_latency.add(now - record.t_fault)
             self.repair.route_around_link(u, v)
             r1, d1 = self.layer.sweep_link(u, v)
             r2, d2 = self.layer.sweep_link(v, u)
@@ -320,6 +325,7 @@ class FaultDetector:
                 return
             record.t_detected = now
             self.detections += 1
+            self.detection_latency.add(now - record.t_fault)
             # Advise sources off the unresponsive node; the backlog in
             # its neighborhood stays (backpressure is physical) and
             # drains after resume.
@@ -328,6 +334,7 @@ class FaultDetector:
         # node_crash
         record.t_detected = now
         self.detections += 1
+        self.detection_latency.add(now - record.t_fault)
         node = record.node
         self.layer.mark_dead(node)
         # The physical inbound set is fixed at crash time; snapshotting

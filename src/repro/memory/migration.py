@@ -87,6 +87,12 @@ class PageDirectory:
         #: accounted explicitly so ``populated == resident + in_flight +
         #: lost`` stays checkable.
         self.lost: list[int] = []
+        #: Arrival-ruling tallies — cheap always-on counters surfaced
+        #: by the observability probes (repro.obs); never read by the
+        #: migration machinery itself.
+        self.ruling_counts: dict[str, int] = {
+            "serve": 0, "stall": 0, "forward": 0, "lost": 0,
+        }
 
     def populate(self, mapper: AddressMapper, num_pages: int) -> None:
         """Seed residency for pages ``0..num_pages-1`` from *mapper*."""
@@ -136,11 +142,24 @@ class PageDirectory:
         """
         pair = self._inflight.get(page)
         if pair is not None:
-            return ("stall", node) if node == pair[1] else ("forward", pair[1])
-        owner = self._owner.get(page)
-        if owner is None:
-            return ("lost", -1)
-        return ("serve", node) if node == owner else ("forward", owner)
+            ruling = (
+                ("stall", node) if node == pair[1] else ("forward", pair[1])
+            )
+        else:
+            owner = self._owner.get(page)
+            if owner is None:
+                ruling = ("lost", -1)
+            elif node == owner:
+                ruling = ("serve", node)
+            else:
+                ruling = ("forward", owner)
+        self.ruling_counts[ruling[0]] += 1
+        return ruling
+
+    @property
+    def in_flight_count(self) -> int:
+        """Pages currently mid-transfer (observability gauge)."""
+        return len(self._inflight)
 
     def when_landed(self, page: int, callback: Callable[[int], None]) -> None:
         """Run ``callback(now)`` once the in-flight page lands."""

@@ -203,6 +203,10 @@ class NetworkSimulator:
         #: Installed fault layer (repro.faults); None keeps the arrival
         #: hot path free of fault checks beyond a single identity test.
         self._fault_layer = None
+        #: Installed observability probes (repro.obs); None keeps every
+        #: hot path free of instrumentation beyond a single identity
+        #: test, exactly like the fault layer above.
+        self._probes = None
         n = self._n
         #: packets in the network destined to each node (O(1) inflight_to).
         self._dst_inflight: list[int] = [0] * n
@@ -337,6 +341,27 @@ class NetworkSimulator:
         """
         self._fault_layer = layer
 
+    # -- observability support ---------------------------------------------
+
+    def install_probes(self, probes) -> None:
+        """Attach :class:`repro.obs.FabricProbes` (or None to detach).
+
+        The probes object only *observes*: its hooks run behind single
+        ``is None`` tests at the event loop and packet lifecycle
+        points, and it never schedules events or allocates sequence
+        numbers, so both the uninstrumented and the instrumented run
+        produce bit-identical ``SimStats`` (checked by the differential
+        suite in ``tests/obs``).  Prefer
+        :meth:`repro.obs.FabricProbes.attach_sim`, which also registers
+        the simulator's pull metrics.
+
+        Note: :meth:`run` hoists the probes reference once per call, so
+        probes installed mid-``run`` take effect at the next ``run``
+        (the daemon advances in quanta, so a live install lands at the
+        next quantum boundary).
+        """
+        self._probes = probes
+
     def on_drop(self, callback: Callable[[Packet, int], None]) -> None:
         """Register ``callback(packet, time)`` to run at each drop."""
         self._on_drop.append(callback)
@@ -365,6 +390,9 @@ class NetworkSimulator:
             self._release_credit(from_link, packet.vc)
         for callback in self._on_drop:
             callback(packet, self.now)
+        probes = self._probes
+        if probes is not None:
+            probes.on_drop(packet, self.now)
 
     def freeze_link(self, u: int, v: int) -> None:
         """Stop transmissions on directed link ``u -> v`` (no loss).
@@ -547,6 +575,9 @@ class NetworkSimulator:
         self.stats.injected += int(packet.measured)
         self._dst_inflight[packet.dst] += 1
         self._pending_arrive[packet.src] += 1
+        probes = self._probes
+        if probes is not None:
+            probes.on_inject(packet, t)
         self._push(t, _ARRIVE, packet.src, (packet, None, True))
 
     # -- event processing -------------------------------------------------------------
@@ -574,10 +605,16 @@ class NetworkSimulator:
             self._release_credit(from_link, packet.vc)
         for callback in self._on_delivery:
             callback(packet, self.now)
+        probes = self._probes
+        if probes is not None:
+            probes.on_deliver(packet, self.now)
 
     def _process_arrival(self, node: int, payload) -> None:
         packet, from_link, first_hop = payload
         self._pending_arrive[node] -= 1
+        probes = self._probes
+        if probes is not None:
+            probes.on_arrive(node, packet, self.now)
         fault = self._fault_layer
         if fault is not None and fault.intercept(node, packet, from_link, first_hop):
             return  # dropped (lost) or parked at a hung node
@@ -603,6 +640,8 @@ class NetworkSimulator:
         traffic = self._node_traffic
         traffic[node] += 1
         traffic[nxt] += 1
+        if probes is not None:
+            probes.on_enqueue(node, nxt, packet, port, now)
         if was_empty and rc and port.channels == 1:
             # Dominant case inlined: the packet just queued on an empty
             # single-channel port and cannot be ready before
@@ -764,6 +803,9 @@ class NetworkSimulator:
                         now + self.config.deadlock_timeout_cycles,
                         _STALL, port, None,
                     )
+                    probes = self._probes
+                    if probes is not None:
+                        probes.on_credit_stall(port, now)
                 return
             _ready, packet, from_link = queues[chosen_vc].popleft()
             port.count -= 1
@@ -814,6 +856,9 @@ class NetworkSimulator:
             seq = self._seq + 1
             self._seq = seq
             heappush(heap, (tail + port.lat, seq, _ARRIVE, v, (packet, port, False)))
+            probes = self._probes
+            if probes is not None:
+                probes.on_send(port, packet, now, tail)
 
     def _recover_stall(self, port: _OutPort) -> None:
         """Escape-buffer deadlock recovery (see module docstring).
@@ -892,6 +937,7 @@ class NetworkSimulator:
         limit = math.inf if until is None else until
         heappush = heapq.heappush
         processed = self._events_processed
+        probes = self._probes
         while heap:
             entry = heappop(heap)
             time = entry[0]
@@ -911,6 +957,8 @@ class NetworkSimulator:
                     "(livelock or runaway injection?)"
                 )
             code = entry[2]
+            if probes is not None:
+                probes.on_event(code, time)
             if code == _ARRIVE:
                 process_arrival(entry[3], entry[4])
             elif code == _LINK_FREE:

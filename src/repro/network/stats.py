@@ -46,6 +46,21 @@ class QuantileSketch:
         counts = self.counts
         counts[value] = counts.get(value, 0) + 1
 
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold *other* into this sketch (cross-worker/tenant rollups).
+
+        Exact by construction: summing the value -> count histograms
+        yields the histogram of the concatenated sample streams, so
+        percentiles of the merged sketch equal :func:`percentile` over
+        the combined raw samples bit-for-bit (property-tested in
+        ``tests/obs/test_sketch_merge.py``).  Returns ``self``.
+        """
+        counts = self.counts
+        for value, n in other.counts.items():
+            counts[value] = counts.get(value, 0) + n
+        self.count += other.count
+        return self
+
     def percentile(self, q: float) -> float:
         """Nearest-rank (round-half-up) percentile of the histogram."""
         if not self.count:

@@ -1,0 +1,40 @@
+"""Observability: metrics registry, timeseries, flight recorder, probes.
+
+The package instruments the deterministic core *without perturbing it*:
+every hook into :class:`~repro.network.simulator.NetworkSimulator` (and
+the fault/memory/service layers above it) sits behind a single
+``is None`` test — the same idiom as ``install_fault_layer`` — so an
+uninstrumented run is bit-identical to a pre-observability run, and an
+instrumented run produces bit-identical ``SimStats`` because probes
+only *read* simulator state and never schedule events or allocate
+sequence numbers.
+
+Layout:
+
+* :mod:`repro.obs.registry` — labeled counters/gauges/histograms with
+  pull-probes, JSON snapshots, and Prometheus text exposition.
+* :mod:`repro.obs.timeseries` — cycle-domain sampler producing JSONL
+  rows whose counter deltas sum exactly to the final totals.
+* :mod:`repro.obs.tracer` — sampling packet flight recorder (hop-by-hop
+  records, Chrome ``trace_event`` export) plus a bounded ring of the
+  last N simulator events for post-mortem dumps.
+* :mod:`repro.obs.probes` — :class:`FabricProbes`, the object a
+  simulator/service accepts via ``install_probes``; wires the three
+  pieces above into the whole stack.
+* :mod:`repro.obs.canary` — fixed pure-python microbenchmark used to
+  normalize recorded performance numbers across hosts.
+"""
+
+from repro.obs.canary import run_canary
+from repro.obs.probes import FabricProbes
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesRecorder
+from repro.obs.tracer import PacketTracer
+
+__all__ = [
+    "FabricProbes",
+    "MetricsRegistry",
+    "PacketTracer",
+    "TimeSeriesRecorder",
+    "run_canary",
+]

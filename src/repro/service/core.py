@@ -319,6 +319,9 @@ class FabricService:
         self._reaper_scheduled = False
         self._gated: list[int] = []
         self._source_ring = sorted(active)
+        #: Installed observability probes (see :meth:`install_probes`);
+        #: None keeps the service entirely uninstrumented.
+        self.probes = None
 
     # -- construction helpers ----------------------------------------------
 
@@ -825,6 +828,13 @@ class FabricService:
             and report["requests_conserved"]
             and report["outstanding"] == 0
         )
+        report["latency"] = self.latency_summary()
+        if not report["all_conserved"] and self.probes is not None:
+            # Post-mortem: dump the bounded ring of the last simulator
+            # events alongside the failed conservation report.
+            tracer = self.probes.tracer
+            if tracer is not None:
+                report["event_ring"] = tracer.ring_dump()
         return report
 
     def _requests_conserved(self) -> bool:
@@ -833,6 +843,59 @@ class FabricService:
         return submitted == len(self.completions) + len(self._pending)
 
     # -- observability -------------------------------------------------------
+
+    def latency_summary(self) -> dict[str, Any]:
+        """Per-tenant and fleet-wide completion-latency percentiles.
+
+        The **single** latency-reporting path: the daemon's ``drain``
+        report, the selftest, the offline workload payload, and the
+        experiments service table all read these numbers, which come
+        straight from the per-tenant ``QuantileSketch`` accumulators
+        (fleet-wide percentiles via :meth:`QuantileSketch.merge`, so
+        they are exact over the concatenated completion stream).
+        """
+        from repro.network.stats import QuantileSketch
+
+        merged = QuantileSketch()
+        per_tenant: dict[str, dict[str, float]] = {}
+        for name, ts in sorted(self.tenants.items()):
+            merged.merge(ts.sketch)
+            per_tenant[name] = {
+                "completed": ts.completed,
+                "p50": ts.p50(),
+                "p99": ts.p99(),
+            }
+        active = [t for t in per_tenant.values() if t["completed"]]
+        return {
+            "p50": merged.percentile(50),
+            "p99": merged.percentile(99),
+            "p50_max": max((t["p50"] for t in active), default=0.0),
+            "p99_max": max((t["p99"] for t in active), default=0.0),
+            "per_tenant": per_tenant,
+        }
+
+    def install_probes(self, probes=None):
+        """Attach observability probes across the whole service stack.
+
+        Wires one :class:`repro.obs.FabricProbes` (a default instance
+        when *probes* is None) into the simulator hot-path hooks and
+        registers pull metrics for the fault detector, the migration
+        engine/page directory, and the service-level counters and
+        tenant sketches.  Purely observational: requests, replay
+        digests, and ``SimStats`` stay bit-identical (the ``metrics``
+        daemon verb installs these lazily on first scrape for exactly
+        that reason).  Returns the probes object.
+        """
+        if probes is None:
+            from repro.obs import FabricProbes
+
+            probes = FabricProbes()
+        probes.attach_sim(self.sim)
+        probes.attach_detector(self.detector)
+        probes.attach_migration(self.engine, self.directory)
+        probes.attach_service(self)
+        self.probes = probes
+        return probes
 
     def snapshot(self) -> dict[str, Any]:
         """JSON-safe state summary (the ``stats`` verb's response)."""

@@ -34,7 +34,9 @@ class FabricDaemon:
     line carries the request's ``id`` and end-to-end simulated latency;
     ``hello`` names the connection's tenant; control verbs ``stats``,
     ``scale``, ``fault``, ``drain``, ``shutdown`` answer in arrival
-    order at the next quantum boundary.
+    order at the next quantum boundary.  The read-only ``metrics``
+    verb returns the observability snapshot plus a Prometheus text
+    exposition (probes are installed lazily on the first scrape).
     """
 
     def __init__(
@@ -128,6 +130,11 @@ class FabricDaemon:
                         writer,
                         {**self.service.snapshot(), "id": message.get("id")},
                     )
+                elif verb == "metrics":
+                    # Read-only like ``stats``: rendered between
+                    # awaits, never logged, never touches the request
+                    # path.  First scrape installs the probes.
+                    self._reply(writer, self._metrics_reply(message))
                 elif verb in ("read", "write"):
                     self._enqueue("request", (tenant, message), writer)
                 elif verb in ("scale", "fault", "drain", "shutdown"):
@@ -147,6 +154,28 @@ class FabricDaemon:
                 writer.close()
             except Exception:
                 pass
+
+    def _metrics_reply(self, message: dict[str, Any]) -> dict[str, Any]:
+        """The ``metrics`` verb body: snapshot + Prometheus exposition.
+
+        Probes are installed on the first scrape — installation only
+        attaches observers (no events, no sequence numbers), so doing
+        it mid-run is safe and keeps unscraped daemons entirely
+        uninstrumented.  Event-type counters start from the install
+        point; pull metrics (delivered, shed, tenant latency) reflect
+        the full run regardless.
+        """
+        service = self.service
+        probes = service.probes
+        if probes is None:
+            probes = service.install_probes()
+        return {
+            "ok": True,
+            "id": message.get("id"),
+            "now": service.sim.now,
+            "metrics": probes.registry.snapshot(),
+            "prometheus": probes.registry.to_prometheus(),
+        }
 
     def _enqueue(self, kind: str, payload: Any, writer) -> None:
         self._inbox.append((kind, payload, writer))

@@ -127,6 +127,7 @@ def run_synthetic(
     link_latency=None,
     sample_free: bool = False,
     eager_link_events: bool = False,
+    instrument=None,
 ) -> SimStats:
     """One synthetic-traffic simulation, start to drain.
 
@@ -135,12 +136,16 @@ def run_synthetic(
     drain so saturated runs terminate (their accepted-rate < 1 then
     flags saturation).  ``sample_free`` swaps the latency/hop sample
     lists for streaming quantile sketches (identical statistics,
-    bounded memory — intended for 1296-node sweeps).
+    bounded memory — intended for 1296-node sweeps).  ``instrument``
+    (if given) is called with the freshly built simulator before any
+    traffic starts — the observability layer attaches its probes here.
     """
     sim = NetworkSimulator(
         topology, policy, config, link_latency=link_latency,
         sample_free=sample_free, eager_link_events=eager_link_events,
     )
+    if instrument is not None:
+        instrument(sim)
     injector = BernoulliInjector(
         sim,
         pattern,

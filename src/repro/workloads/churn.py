@@ -370,6 +370,7 @@ def run_churn(
     enforce_granularity: bool = False,
     granularity_ns: float | None = None,
     routing: AdaptiveGreediestRouting | None = None,
+    instrument=None,
 ) -> ChurnResult:
     """One churn scenario, start to full drain.
 
@@ -393,6 +394,8 @@ def run_churn(
         routing = AdaptiveGreediestRouting(topology)
     policy = GreedyPolicy(routing)
     sim = NetworkSimulator(topology, policy, config)
+    if instrument is not None:
+        instrument(sim)
     manager = ReconfigurationManager(topology, routing)
     power_kwargs = {} if granularity_ns is None else {"granularity_ns": granularity_ns}
     power = PowerManager(manager, config=sim.config, **power_kwargs)

@@ -333,6 +333,7 @@ def run_faults(
     seed: int | None = 0,
     payload_bytes: int = 64,
     window_cycles: int = 200,
+    instrument=None,
 ) -> FaultRunResult:
     """One fault scenario, start to full drain.
 
@@ -370,6 +371,8 @@ def run_faults(
     else:
         policy = topology.make_policy(adaptive=True)
         sim = NetworkSimulator(topology, policy, config)
+    if instrument is not None:
+        instrument(sim)
 
     layer = FaultLayer(
         sim, retransmit_timeout=retransmit_timeout, max_retries=max_retries

@@ -354,6 +354,7 @@ def run_migration(
     drain_limit: int = 80_000,
     seed: int | None = 0,
     revalidate_cycles: int = DEFAULT_REVALIDATE_CYCLES,
+    instrument=None,
 ) -> MigrationRunResult:
     """One gate-off/wake cycle with real data migration, start to drain.
 
@@ -384,6 +385,8 @@ def run_migration(
     routing = AdaptiveGreediestRouting(topology)
     policy = GreedyPolicy(routing)
     sim = NetworkSimulator(topology, policy, config)
+    if instrument is not None:
+        instrument(sim)
     manager = ReconfigurationManager(topology, routing)
     power = PowerManager(manager, config=sim.config)
 

@@ -96,11 +96,16 @@ class ServiceRunResult:
     service: Any = field(default=None, repr=False)
 
     def payload(self) -> dict[str, Any]:
-        """Flat JSON-safe summary row (experiment worker / benchmarks)."""
+        """Flat JSON-safe summary row (experiment worker / benchmarks).
+
+        Latency percentiles come from the drain report's ``latency``
+        block — :meth:`FabricService.latency_summary`, the single
+        sketch-backed path shared with the daemon — so the offline
+        table and a live ``drain``/``metrics`` scrape can never drift.
+        """
         snap = self.snapshot
         completed = snap["completed"]
-        lat_p50s = [t["p50"] for t in snap["tenants"].values() if t["completed"]]
-        lat_p99s = [t["p99"] for t in snap["tenants"].values() if t["completed"]]
+        latency = self.drain_report["latency"]
         duration = max(1, snap["now"])
         return {
             "submitted": snap["submitted"],
@@ -111,8 +116,10 @@ class ServiceRunResult:
             "forwarded": snap["forwarded"],
             "duration_cycles": snap["now"],
             "requests_per_kcycle": 1000.0 * completed / duration,
-            "p50_max": max(lat_p50s) if lat_p50s else 0.0,
-            "p99_max": max(lat_p99s) if lat_p99s else 0.0,
+            "p50": latency["p50"],
+            "p99": latency["p99"],
+            "p50_max": latency["p50_max"],
+            "p99_max": latency["p99_max"],
             "sent": snap["sent"],
             "delivered": snap["delivered"],
             "dropped": snap["dropped"],
@@ -145,12 +152,16 @@ def run_service(
     fault_kind: str = "node_crash",
     fault_node: int | None = None,
     keep_service: bool = False,
+    instrument=None,
 ) -> ServiceRunResult:
     """Run one deterministic multi-tenant load point against a fresh fabric.
 
     Builds the full service stack, drives the synthetic schedule
     through the shared ingestion path, drains to quiescence, and
     returns digest + conservation report + stats snapshot.
+    ``instrument`` (if given) is called with the freshly built service
+    before any request is driven — the observability layer calls
+    ``service.install_probes`` here.
     """
     from repro.service.core import FabricService
     from repro.service.log import drive
@@ -162,6 +173,8 @@ def run_service(
         max_outstanding=max_outstanding, queue_depth=queue_depth,
         node_watermark=node_watermark,
     )
+    if instrument is not None:
+        instrument(service)
     entries = synthetic_schedule(
         tenants=tenants, requests_per_tenant=requests_per_tenant,
         rate=rate, footprint_pages=footprint_pages,

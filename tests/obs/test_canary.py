@@ -1,0 +1,20 @@
+"""Machine-speed canary: shape, determinism, and sanity of the result."""
+
+from __future__ import annotations
+
+from repro.obs.canary import CANARY_OPS, run_canary
+
+
+def test_result_shape_and_sanity():
+    result = run_canary(repeats=1)
+    assert result["ops"] == CANARY_OPS
+    assert result["seconds"] > 0
+    assert result["kops"] == CANARY_OPS / result["seconds"] / 1000.0
+
+
+def test_best_of_repeats_is_fastest():
+    result = run_canary(repeats=2)
+    assert result["kops"] > 0
+    # best-of semantics: more repeats can only report >= one repeat's
+    # throughput on the same machine; just check it stays finite/sane.
+    assert result["seconds"] < 60

@@ -1,0 +1,198 @@
+"""MetricsRegistry: registration, collection, exposition, timeseries."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.network.stats import QuantileSketch
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesRecorder
+
+
+class TestRegistration:
+    def test_counter_and_gauge_roundtrip(self):
+        reg = MetricsRegistry()
+        c = reg.counter("widgets_total")
+        g = reg.gauge("depth")
+        c.inc()
+        c.inc(4)
+        g.set(7.5)
+        snap = reg.snapshot()
+        assert snap["counters"]["repro_widgets_total"] == 5
+        assert snap["gauges"]["repro_depth"] == 7.5
+
+    def test_namespace_prefix(self):
+        reg = MetricsRegistry(namespace="custom")
+        reg.counter("x_total")
+        assert "custom_x_total" in reg.snapshot()["counters"]
+
+    def test_labels_distinguish_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("ev_total", labels={"type": "a"})
+        b = reg.counter("ev_total", labels={"type": "b"})
+        a.inc(1)
+        b.inc(2)
+        snap = reg.snapshot()["counters"]
+        assert snap['repro_ev_total{type="a"}'] == 1
+        assert snap['repro_ev_total{type="b"}'] == 2
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError, match="re-registered"):
+            reg.gauge("x_total")
+
+    def test_pull_probes_resolve_at_collect_time(self):
+        reg = MetricsRegistry()
+        state = {"n": 0}
+        reg.counter_probe("n_total", lambda: state["n"])
+        assert reg.snapshot()["counters"]["repro_n_total"] == 0
+        state["n"] = 42
+        assert reg.snapshot()["counters"]["repro_n_total"] == 42
+
+    def test_gauge_track_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("hw")
+        for v in (3, 9, 5):
+            g.track_max(v)
+        assert reg.snapshot()["gauges"]["repro_hw"] == 9
+
+    def test_histogram_is_live_reference(self):
+        reg = MetricsRegistry()
+        sketch = QuantileSketch()
+        reg.histogram("lat_cycles", sketch)
+        sketch.add(10)
+        sketch.add(20)
+        hist = reg.snapshot()["histograms"]["repro_lat_cycles"]
+        assert hist["count"] == 2
+        assert hist["sum"] == 30
+        assert hist["p99"] == 20
+
+    def test_collector_emits_dynamic_labels(self):
+        reg = MetricsRegistry()
+        tenants = {"a": 1, "b": 2}
+
+        def collect(emit):
+            for name, n in tenants.items():
+                emit("req_total", "counter", n, labels={"tenant": name})
+
+        reg.collector(collect)
+        snap = reg.snapshot()["counters"]
+        assert snap['repro_req_total{tenant="a"}'] == 1
+        tenants["c"] = 9  # label set grows between collects
+        snap = reg.snapshot()["counters"]
+        assert snap['repro_req_total{tenant="c"}'] == 9
+
+
+#: One metric sample or # TYPE line of the text exposition format.
+_PROM_LINE = re.compile(
+    r"^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+)$"
+)
+
+
+class TestPrometheus:
+    def _populated(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("ev_total", labels={"type": "wake"}).inc(3)
+        reg.gauge("cycle").set(100)
+        sketch = reg.histogram("lat_cycles")
+        for v in (1, 2, 3, 4, 100):
+            sketch.add(v)
+        return reg
+
+    def test_every_line_parses(self):
+        text = self._populated().to_prometheus()
+        assert text.endswith("\n")
+        for line in text.strip().splitlines():
+            assert _PROM_LINE.match(line), f"unparseable line: {line!r}"
+
+    def test_type_lines_precede_samples(self):
+        text = self._populated().to_prometheus()
+        seen_types = set()
+        for line in text.strip().splitlines():
+            if line.startswith("# TYPE"):
+                seen_types.add(line.split()[2])
+            else:
+                name = re.match(r"[a-zA-Z_:][a-zA-Z0-9_:]*", line).group(0)
+                base = re.sub(r"_(count|sum)$", "", name)
+                assert name in seen_types or base in seen_types
+
+    def test_histogram_rendered_as_summary(self):
+        text = self._populated().to_prometheus()
+        assert "# TYPE repro_lat_cycles summary" in text
+        assert 'repro_lat_cycles{quantile="0.99"} 100' in text
+        assert "repro_lat_cycles_count 5" in text
+        assert "repro_lat_cycles_sum 110" in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labels={"k": 'a"b\\c'}).inc()
+        text = reg.to_prometheus()
+        assert r'{k="a\"b\\c"}' in text
+
+
+class TestTimeSeriesRecorder:
+    def test_interval_validation(self):
+        with pytest.raises(ValueError, match="interval"):
+            TimeSeriesRecorder(MetricsRegistry(), interval=0)
+
+    def test_rows_carry_counter_deltas(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n_total")
+        rec = TimeSeriesRecorder(reg, interval=10)
+        c.inc(5)
+        rec.sample(10)
+        c.inc(7)
+        rec.sample(20)
+        deltas = [row["counters"]["repro_n_total"] for row in rec.rows]
+        assert deltas == [5, 7]
+
+    def test_boundary_advances_past_now(self):
+        rec = TimeSeriesRecorder(MetricsRegistry(), interval=10)
+        assert rec.next_at == 10
+        rec.sample(23)  # event landed past two boundaries
+        assert rec.next_at == 30
+
+    def test_sum_counters_equals_final_totals_after_flush(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n_total")
+        rec = TimeSeriesRecorder(reg, interval=10)
+        for cycle in (10, 25, 31):
+            c.inc(cycle)
+            rec.sample(cycle)
+        c.inc(100)  # tail-window increments, no boundary crossed
+        rec.flush(40)
+        assert rec.sum_counters()["repro_n_total"] == c.value
+
+    def test_flush_is_idempotent_when_clean(self):
+        reg = MetricsRegistry()
+        reg.counter("n_total").inc()
+        rec = TimeSeriesRecorder(reg, interval=10)
+        rec.flush(15)
+        rows = len(rec.rows)
+        rec.flush(15)
+        assert len(rec.rows) == rows
+
+    def test_gauges_are_point_in_time(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        rec = TimeSeriesRecorder(reg, interval=10)
+        g.set(3)
+        rec.sample(10)
+        g.set(8)
+        rec.sample(20)
+        assert [r["gauges"]["repro_depth"] for r in rec.rows] == [3, 8]
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("n_total").inc(2)
+        rec = TimeSeriesRecorder(reg, interval=10)
+        rec.sample(10)
+        path = tmp_path / "ts.jsonl"
+        rec.write_jsonl(path)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows == rec.rows

@@ -1,0 +1,62 @@
+"""QuantileSketch.merge: exactness against concatenated samples.
+
+The sketch is an exact value->count histogram, so merging two sketches
+must be *indistinguishable* from having added both sample streams to a
+single sketch — at every quantile, not just the exported ones.  The
+property test drives that with arbitrary float streams; the example
+tests pin the edge cases (empty sides, chaining, return value).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.stats import QuantileSketch
+
+_values = st.lists(
+    st.floats(
+        min_value=0.0, max_value=1e9,
+        allow_nan=False, allow_infinity=False,
+    ),
+    max_size=200,
+)
+_quantiles = st.floats(min_value=0.0, max_value=100.0)
+
+
+def _sketch_of(values) -> QuantileSketch:
+    s = QuantileSketch()
+    for v in values:
+        s.add(v)
+    return s
+
+
+@given(a=_values, b=_values, q=_quantiles)
+def test_merged_percentiles_equal_concatenated(a, b, q):
+    merged = _sketch_of(a).merge(_sketch_of(b))
+    combined = _sketch_of(a + b)
+    assert merged.count == combined.count
+    assert merged.counts == combined.counts
+    assert merged.percentile(q) == combined.percentile(q)
+
+
+@given(a=_values, b=_values, c=_values)
+def test_merge_chains_and_counts(a, b, c):
+    merged = _sketch_of(a).merge(_sketch_of(b)).merge(_sketch_of(c))
+    assert merged.count == len(a) + len(b) + len(c)
+    assert merged.counts == _sketch_of(a + b + c).counts
+
+
+def test_merge_returns_self_and_leaves_other_untouched():
+    a = _sketch_of([1, 2])
+    b = _sketch_of([3])
+    result = a.merge(b)
+    assert result is a
+    assert b.counts == {3: 1} and b.count == 1
+
+
+def test_merge_empty_sides():
+    empty = QuantileSketch()
+    assert empty.merge(QuantileSketch()).count == 0
+    assert _sketch_of([5]).merge(QuantileSketch()).percentile(50) == 5
+    assert QuantileSketch().merge(_sketch_of([5])).percentile(50) == 5

@@ -1,0 +1,156 @@
+"""`repro trace` CLI and the daemon `metrics` verb, end to end."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.kind == "synthetic"
+        assert args.sample_interval == 256
+        assert args.trace_fraction == 0.02
+        assert args.ring == 256
+
+    def test_trace_rejects_uninstrumentable_kind(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--kind", "path_stats"])
+
+    def test_serve_metrics_flag(self):
+        args = build_parser().parse_args(["serve", "--metrics"])
+        assert args.metrics is True
+
+
+def _run_trace(tmp_path, *extra):
+    argv = [
+        "trace", "--kind", "synthetic", "--design", "SF", "--nodes", "48",
+        "--rate", "0.1", "--warmup", "100", "--measure", "300",
+        "--out-dir", str(tmp_path), *extra,
+    ]
+    return main(argv)
+
+
+class TestTraceCommand:
+    def test_emits_all_artifacts_and_reconciles(self, tmp_path, capsys):
+        assert _run_trace(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "reconciliation:    ok" in out
+        suffixes = [
+            ".timeseries.jsonl", ".trace.json", ".trace.jsonl",
+            ".metrics.json", ".metrics.prom", ".summary.json",
+        ]
+        for suffix in suffixes:
+            matches = list(tmp_path.glob(f"*{suffix}"))
+            assert len(matches) == 1, suffix
+            assert matches[0].stat().st_size > 0
+
+    def test_chrome_trace_and_timeseries_valid(self, tmp_path):
+        assert _run_trace(tmp_path) == 0
+        (chrome,) = tmp_path.glob("*.trace.json")
+        trace = json.loads(chrome.read_text())
+        assert isinstance(trace["traceEvents"], list)
+        assert {"ph", "pid", "ts"} <= set(
+            next(e for e in trace["traceEvents"] if e["ph"] != "M")
+        )
+        (ts,) = tmp_path.glob("*.timeseries.jsonl")
+        rows = [json.loads(line) for line in ts.read_text().splitlines()]
+        assert rows and all({"cycle", "counters", "gauges"} <= set(r)
+                            for r in rows)
+
+    def test_counters_reconcile_with_payload_stats(self, tmp_path):
+        """Summed timeseries deltas == the SimStats totals in the payload."""
+        assert _run_trace(tmp_path) == 0
+        (summary_path,) = tmp_path.glob("*.summary.json")
+        summary = json.loads(summary_path.read_text())
+        (ts,) = tmp_path.glob("*.timeseries.jsonl")
+        sums: dict[str, float] = {}
+        for line in ts.read_text().splitlines():
+            for key, delta in json.loads(line)["counters"].items():
+                sums[key] = sums.get(key, 0) + delta
+        payload = summary["payload"]
+        assert sums["repro_sim_packets_delivered_total"] == payload["delivered"]
+        event_sum = sum(
+            v for k, v in sums.items()
+            if k.startswith("repro_sim_events_total")
+        )
+        assert event_sum == summary["obs"]["events_processed"]
+
+    def test_unsupported_point_fails_cleanly(self, tmp_path, capsys):
+        rc = main([
+            "trace", "--kind", "churn", "--design", "DM", "--nodes", "36",
+            "--rate", "0.05", "--out-dir", str(tmp_path),
+        ])
+        assert rc == 1
+        assert "unsupported" in capsys.readouterr().out
+
+    def test_service_kind_traces_full_stack(self, tmp_path, capsys):
+        rc = main([
+            "trace", "--kind", "service", "--nodes", "36", "--rate", "0.05",
+            "--out-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        (prom,) = tmp_path.glob("*.metrics.prom")
+        text = prom.read_text()
+        assert "repro_service_latency_cycles" in text
+        assert "repro_service_queue_depth" in text
+
+
+_PROM_LINE = re.compile(
+    r"^(# TYPE \S+ (counter|gauge|summary)"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+)$"
+)
+
+
+class TestDaemonMetricsVerb:
+    def _scrape(self, pre_install: bool) -> None:
+        from repro.service.core import FabricService
+        from repro.service.daemon import FabricDaemon
+
+        async def scenario():
+            service = FabricService(nodes=36, footprint_pages=64)
+            if pre_install:
+                service.install_probes()
+            daemon = FabricDaemon(service, quantum=32)
+            host, port = await daemon.start()
+            reader, writer = await asyncio.open_connection(host, port)
+
+            async def rpc(message):
+                writer.write(json.dumps(message).encode() + b"\n")
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            # Live traffic before and between scrapes: the metrics verb
+            # must be safe mid-run, not only at quiescence.
+            for i in range(4):
+                resp = await rpc({"op": "read", "page": i, "id": f"r{i}"})
+                assert resp["ok"]
+            first = await rpc({"op": "metrics", "id": "m1"})
+            assert first["ok"] and first["id"] == "m1"
+            for line in first["prometheus"].strip().splitlines():
+                assert _PROM_LINE.match(line), line
+            snap = first["metrics"]
+            assert {"counters", "gauges", "histograms"} <= set(snap)
+            delivered = snap["counters"]["repro_sim_packets_delivered_total"]
+            assert delivered >= 4
+            resp = await rpc({"op": "write", "page": 0, "id": "w1"})
+            assert resp["ok"]
+            second = await rpc({"op": "metrics", "id": "m2"})
+            counters = second["metrics"]["counters"]
+            assert counters["repro_sim_packets_delivered_total"] > delivered
+            writer.close()
+            await daemon.stop()
+
+        asyncio.run(scenario())
+
+    def test_scrape_with_probes_preinstalled(self):
+        self._scrape(pre_install=True)
+
+    def test_scrape_installs_probes_lazily(self):
+        self._scrape(pre_install=False)
