@@ -1,0 +1,150 @@
+"""Multi-tenant isolation figure: per-class p99 vs offered interference.
+
+Sweeps the offered interference load (noise / burst / incast tenants)
+against a fixed latency-critical foreground on SF, DM and Jellyfish,
+with the default QoS class table installed and again classless, and
+writes the per-class p50/p99 curves to
+``benchmarks/results/interference.json``.  The headline of the PR-9
+acceptance criteria is read straight off the table: under QoS the
+latency class's p99 stays near its zero-load level while bulk's p99
+absorbs the interference; classless, both collapse together.
+
+Usage::
+
+    python benchmarks/bench_interference.py            # full grid
+    python benchmarks/bench_interference.py --quick    # CI smoke scale
+
+Runs serially with the result cache disabled, like every benchmark —
+the point is a reproducible figure, not a timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+DEFAULT_OUT = RESULTS_DIR / "interference.json"
+QUICK_OUT = RESULTS_DIR / "interference_quick.json"
+
+DESIGNS = ("SF", "DM", "Jellyfish")
+FULL = {
+    "nodes": 144,
+    "rates": (0.1, 0.2, 0.3, 0.4, 0.5),
+    "modes": ("noise", "burst", "incast"),
+    "measure": 2000,
+}
+QUICK = {
+    "nodes": 36,
+    "rates": (0.1, 0.4),
+    "modes": ("incast",),
+    "measure": 800,
+}
+
+CONFIG = {
+    "fg_rate": 0.05,
+    "warmup": 300,
+    "drain_limit": 60_000,
+    "seed": 0,
+    "topology_seed": 1,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small grid (CI smoke): one mode, two loads, 36 nodes",
+    )
+    parser.add_argument(
+        "--designs", default=",".join(DESIGNS),
+        help="comma-separated topology names",
+    )
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="results JSON (default: interference.json, or "
+                             "interference_quick.json with --quick)")
+    return parser
+
+
+def measure(designs, grid):
+    from repro.experiments import ExperimentSpec, ParallelRunner
+    from repro.experiments.report import sweep_table
+
+    points = []
+    for mode in grid["modes"]:
+        for qos in (True, False):
+            spec = ExperimentSpec(
+                name=f"bench-interference-{mode}-{'qos' if qos else 'raw'}",
+                kind="interference",
+                designs=tuple(designs),
+                nodes=(grid["nodes"],),
+                patterns=("uniform_random",),
+                rates=grid["rates"],
+                seeds=(CONFIG["seed"],),
+                topology_seed=CONFIG["topology_seed"],
+                sim_params={
+                    "warmup": CONFIG["warmup"],
+                    "measure": grid["measure"],
+                    "drain_limit": CONFIG["drain_limit"],
+                    "fg_rate": CONFIG["fg_rate"],
+                    "mode": mode,
+                    "qos": qos,
+                },
+            )
+            result = ParallelRunner(workers=1, cache=None).run(spec)
+            print(f"\n== {spec.name}")
+            print(sweep_table(result))
+            for task, payload in result:
+                point = {
+                    "design": task.design,
+                    "nodes": task.nodes,
+                    "mode": mode,
+                    "qos": qos,
+                    "rate": task.rate,
+                }
+                if payload.get("unsupported"):
+                    point["unsupported"] = payload.get("error", True)
+                else:
+                    point.update({
+                        "fg_p50": payload["fg_p50"],
+                        "fg_p99": payload["fg_p99"],
+                        "bulk_p50": payload["bulk_p50"],
+                        "bulk_p99": payload["bulk_p99"],
+                        "p99_ratio": round(payload["p99_ratio"], 2),
+                        "conserved": payload["conserved"],
+                    })
+                points.append(point)
+    return points
+
+
+def isolation_summary(points) -> None:
+    """Worst-case foreground p99 per design, QoS vs classless."""
+    print("\nisolation summary (worst fg_p99 across the grid):")
+    designs = sorted({p["design"] for p in points if "fg_p99" in p})
+    for design in designs:
+        rows = [p for p in points if p["design"] == design and "fg_p99" in p]
+        qos = max((p["fg_p99"] for p in rows if p["qos"]), default=0.0)
+        raw = max((p["fg_p99"] for p in rows if not p["qos"]), default=0.0)
+        print(f"  {design:>9s}: qos fg_p99 {qos:7.0f} cyc | "
+              f"classless fg_p99 {raw:7.0f} cyc")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+    grid = QUICK if args.quick else FULL
+    points = measure(designs, grid)
+    isolation_summary(points)
+    out = Path(args.out) if args.out else (QUICK_OUT if args.quick else DEFAULT_OUT)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(
+        {"config": {**CONFIG, **grid}, "results": points},
+        indent=2, sort_keys=True,
+    ))
+    print(f"\nresults: {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -290,6 +290,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="also dump raw task payloads as JSON",
     )
 
+    inter = sub.add_parser(
+        "interference",
+        help="multi-tenant QoS: per-class p99 vs offered interference "
+             "load (parallel + cached)",
+    )
+    inter.add_argument(
+        "--designs", default="SF,DM,Jellyfish",
+        help="comma-separated topology names",
+    )
+    inter.add_argument("--nodes", default="64", help="comma-separated node counts")
+    inter.add_argument("--ports", type=int, default=None)
+    inter.add_argument(
+        "--modes", default="noise",
+        help="comma-separated interference shapes: noise, burst, incast",
+    )
+    inter.add_argument(
+        "--rates", default="0.1,0.3,0.5",
+        help="comma-separated offered interference loads (the swept axis)",
+    )
+    inter.add_argument(
+        "--fg-rate", type=float, default=0.05,
+        help="latency-critical foreground injection rate",
+    )
+    inter.add_argument(
+        "--no-qos", action="store_true",
+        help="classless baseline only (no class table installed)",
+    )
+    inter.add_argument(
+        "--baseline", action="store_true",
+        help="also run the classless baseline variant for comparison",
+    )
+    inter.add_argument("--pattern", default="uniform_random")
+    inter.add_argument("--seeds", default="0", help="comma-separated seeds")
+    inter.add_argument("--topology-seed", type=int, default=0)
+    inter.add_argument("--warmup", type=int, default=300)
+    inter.add_argument("--measure", type=int, default=2000)
+    inter.add_argument("--drain-limit", type=int, default=60_000)
+    inter.add_argument(
+        "--workers", type=int, default=1,
+        help="process count (0 = one per CPU; results identical)",
+    )
+    inter.add_argument("--cache-dir", default=None)
+    inter.add_argument("--no-cache", action="store_true")
+    inter.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also dump raw task payloads as JSON",
+    )
+
     perf = sub.add_parser(
         "perf",
         help="simulator events/sec across designs x scales (perf trajectory)",
@@ -336,7 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--kind", default="synthetic",
         choices=("synthetic", "churn", "migration", "faults", "service",
-                 "perf"),
+                 "perf", "interference"),
         help="experiment kind to run under probes",
     )
     trace.add_argument("--design", default="SF")
@@ -416,6 +464,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="install observability probes at boot (the `metrics` verb "
              "installs them lazily on first scrape otherwise)",
+    )
+    serve.add_argument(
+        "--qos", action="store_true",
+        help="install the default traffic-class table: priority "
+             "arbitration, per-class credits, class-aware admission, "
+             "per-class SLO blocks in stats/metrics",
+    )
+    serve.add_argument(
+        "--tenant-class", action="append", default=None,
+        metavar="TENANT=CLASS",
+        help="map a tenant to a class id (repeatable; unmapped tenants "
+             "ride class 0, the latency class); implies nothing "
+             "without --qos",
     )
     serve.add_argument(
         "--selftest", action="store_true",
@@ -885,6 +946,82 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_interference(args) -> int:
+    """Multi-tenant QoS sweep: per-class p99 vs interference load."""
+    from repro.experiments import ExperimentSpec, ParallelRunner, ResultCache
+    from repro.experiments.report import sweep_table, write_result_json
+
+    base_params = {
+        "warmup": args.warmup,
+        "measure": args.measure,
+        "drain_limit": args.drain_limit,
+        "fg_rate": args.fg_rate,
+    }
+    topology_params = {}
+    if args.ports is not None:
+        topology_params["ports"] = args.ports
+    qos_variants = [False] if args.no_qos else [True]
+    if args.baseline and not args.no_qos:
+        qos_variants.append(False)
+    specs = []
+    for mode in _split(args.modes):
+        for qos in qos_variants:
+            tag = "qos" if qos else "raw"
+            specs.append(ExperimentSpec(
+                name=f"cli-interference-{mode}-{tag}",
+                kind="interference",
+                designs=_split(args.designs),
+                nodes=_split(args.nodes, int),
+                patterns=(args.pattern,),
+                rates=_split(args.rates, float),
+                seeds=_split(args.seeds, int),
+                topology_seed=args.topology_seed,
+                sim_params={**base_params, "mode": mode, "qos": qos},
+                topology_params=topology_params,
+            ))
+
+    cache = (
+        None if args.no_cache else ResultCache(_resolve_cache_dir(args.cache_dir))
+    )
+    runner = ParallelRunner(workers=args.workers, cache=cache)
+    all_payloads: dict[str, dict] = {}
+    by_design: dict[str, list[dict]] = {}
+    for spec in specs:
+        result = runner.run(spec)
+        print(f"\n== {spec.name} [{spec.spec_hash()}]: {result.summary()}")
+        print(sweep_table(result))
+        for task, payload in result:
+            all_payloads[task.key()] = {
+                "task": task.to_dict(), "payload": payload,
+            }
+            if not payload.get("unsupported"):
+                by_design.setdefault(task.design, []).append(payload)
+    if by_design:
+        print("\nisolation summary (worst grid point per design):")
+        for design, payloads in sorted(by_design.items()):
+            protected = [p for p in payloads if p.get("qos")]
+            exposed = [p for p in payloads if not p.get("qos")]
+            line = f"  {design:>9s}:"
+            if protected:
+                line += (
+                    f" qos fg_p99 {max(p['fg_p99'] for p in protected):6.0f}"
+                    f" / bulk_p99 "
+                    f"{max(p['bulk_p99'] for p in protected):6.0f} cyc"
+                )
+            if exposed:
+                line += (
+                    f"; classless fg_p99 "
+                    f"{max(p['fg_p99'] for p in exposed):6.0f} cyc"
+                )
+            print(line)
+    if cache is not None:
+        print(f"cache: {cache.directory}")
+    if args.output:
+        path = write_result_json(args.output, all_payloads)
+        print(f"payloads: {path}")
+    return 0
+
+
 def _cmd_perf(args) -> int:
     """Simulator-throughput sweep (always uncached: timings are live)."""
     from repro.experiments import ExperimentSpec, ParallelRunner
@@ -1111,6 +1248,17 @@ def _cmd_serve(args) -> int:
     from repro.service.daemon import FabricDaemon
     from repro.service.log import RequestLog
 
+    tenant_classes = None
+    if args.tenant_class:
+        tenant_classes = {}
+        for entry in args.tenant_class:
+            tenant, _, cls = entry.partition("=")
+            if not tenant or not cls.lstrip("-").isdigit():
+                raise SystemExit(
+                    f"--tenant-class expects TENANT=CLASS, got {entry!r}"
+                )
+            tenant_classes[tenant] = int(cls)
+
     service = FabricService(
         nodes=args.nodes,
         design=args.design,
@@ -1122,6 +1270,8 @@ def _cmd_serve(args) -> int:
         max_outstanding=args.max_outstanding,
         queue_depth=args.queue_depth,
         node_watermark=args.node_watermark,
+        qos=args.qos,
+        tenant_classes=tenant_classes,
     )
     if args.metrics:
         service.install_probes()
@@ -1161,6 +1311,7 @@ _COMMANDS = {
     "churn": _cmd_churn,
     "migrate": _cmd_migrate,
     "faults": _cmd_faults,
+    "interference": _cmd_interference,
     "perf": _cmd_perf,
     "trace": _cmd_trace,
     "serve": _cmd_serve,

@@ -16,7 +16,13 @@ router, which is insufficient to deadlock (Dally's argument, refs
 
 from __future__ import annotations
 
-__all__ = ["NUM_VIRTUAL_CHANNELS", "select_virtual_channel"]
+from collections.abc import Sequence
+
+__all__ = [
+    "NUM_VIRTUAL_CHANNELS",
+    "select_virtual_channel",
+    "partition_credits",
+]
 
 #: The design uses exactly two virtual channels.
 NUM_VIRTUAL_CHANNELS = 2
@@ -32,3 +38,32 @@ def select_virtual_channel(src_coord: float, dst_coord: float) -> int:
     a decreasing chain at once.
     """
     return 0 if src_coord <= dst_coord else 1
+
+
+def partition_credits(
+    total: int, shares: Sequence[float]
+) -> tuple[list[int], int]:
+    """Split one VC's credit pool into per-class reservations + shared.
+
+    Each traffic class reserves ``floor(total * share)`` credits; the
+    remainder forms the shared pool every class may borrow from
+    (work-conserving borrowing — see ``docs/QOS.md``).  Deadlock
+    guard: a class with no reservation can only ever send on borrowed
+    credits, so if flooring would leave such a class facing an empty
+    shared pool, one credit is taken back from the largest reservation
+    to keep the shared pool non-empty.  Conservation always holds:
+    ``sum(reserved) + shared == total``.
+    """
+    if total < 0:
+        raise ValueError(f"total credits must be >= 0, got {total}")
+    reserved = [int(total * share) for share in shares]
+    shared = total - sum(reserved)
+    if shared < 0:
+        raise ValueError(
+            f"credit shares {list(shares)} over-subscribe {total} credits"
+        )
+    if shared == 0 and total > 0 and any(r == 0 for r in reserved):
+        richest = max(range(len(reserved)), key=lambda i: reserved[i])
+        reserved[richest] -= 1
+        shared = 1
+    return reserved, shared

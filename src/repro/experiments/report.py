@@ -133,6 +133,25 @@ def _kind_row(task: ExperimentTask, payload: dict[str, Any]) -> list[str]:
             _fmt(None if unsupported else payload.get("pages_lost")),
             _fmt(None if unsupported else payload.get("conserved")),
         ]
+    if task.kind == "interference":
+        return [
+            task.design, task.nodes, f"{task.rate:g}", task.seed,
+            _fmt(None if unsupported else payload.get("mode")),
+            _fmt(None if unsupported else payload.get("qos")),
+            _fmt(None if unsupported else payload.get("fg_p50"), ".0f"),
+            _fmt(None if unsupported else payload.get("fg_p99"), ".0f"),
+            _fmt(None if unsupported else payload.get("bulk_p50"), ".0f"),
+            _fmt(None if unsupported else payload.get("bulk_p99"), ".0f"),
+            _fmt(None if unsupported else payload.get("p99_ratio"), ".1f"),
+            _fmt(None if unsupported else payload.get("deadlock_recoveries")),
+            _fmt(
+                None if unsupported
+                else (
+                    bool(payload.get("conserved"))
+                    and bool(payload.get("drained"))
+                )
+            ),
+        ]
     if task.kind == "perf":
         return [
             task.design, task.nodes, task.pattern, f"{task.rate:g}", task.seed,
@@ -172,6 +191,9 @@ _HEADERS = {
     "service": ["design", "N", "rate", "seed", "submitted", "done", "shed",
                 "queued", "req/kcyc", "p50", "p99", "p99_max", "pg_lost",
                 "conserved"],
+    "interference": ["design", "N", "rate", "seed", "mode", "qos",
+                     "fg_p50", "fg_p99", "bulk_p50", "bulk_p99",
+                     "p99_ratio", "recov", "conserved"],
 }
 
 

@@ -82,7 +82,7 @@ __all__ = ["TASK_KINDS", "ExperimentSpec", "ExperimentTask", "freeze_params"]
 
 TASK_KINDS = (
     "synthetic", "saturation", "workload", "path_stats", "churn", "migration",
-    "faults", "perf", "service",
+    "faults", "perf", "service", "interference",
 )
 
 #: Bump when task semantics change so stale cache entries are ignored.
@@ -240,7 +240,7 @@ class ExperimentSpec:
         if (
             self.kind in (
                 "synthetic", "churn", "migration", "faults", "perf",
-                "service",
+                "service", "interference",
             )
             and not self.rates
         ):
@@ -251,7 +251,7 @@ class ExperimentSpec:
         if (
             self.kind in (
                 "synthetic", "saturation", "churn", "migration", "faults",
-                "perf", "service",
+                "perf", "service", "interference",
             )
             and not self.patterns
         ):
@@ -279,6 +279,7 @@ class ExperimentSpec:
         out: list[ExperimentTask] = []
         if self.kind in (
             "synthetic", "churn", "migration", "faults", "perf", "service",
+            "interference",
         ):
             for design in self.designs:
                 for n in self.nodes:

@@ -539,6 +539,53 @@ def _run_service(task: ExperimentTask, instrument=None) -> dict[str, Any]:
     return result.payload()
 
 
+def _run_interference(task: ExperimentTask, instrument=None) -> dict[str, Any]:
+    """One multi-tenant interference point: foreground vs interferer.
+
+    The task ``rate`` is the *interference* offered load (the swept
+    axis of the per-class p99 comparison); the latency-critical
+    foreground rate, the interference shape (``mode``), and the
+    classless-baseline switch (``qos``) ride in ``sim_params``.  Built
+    fresh per task like ``faults`` — the QoS table rewires the
+    simulator's port state, so memoized topologies must not be shared.
+    """
+    from repro.topologies.registry import make_topology
+    from repro.workloads.interference import run_interference
+
+    kwargs = dict(task.topology_params)
+    ports = kwargs.pop("ports", None)
+    try:
+        topo = make_topology(
+            task.design, task.nodes, seed=task.topology_seed, ports=ports,
+            **kwargs,
+        )
+    except ValueError as exc:
+        return {"unsupported": True, "error": str(exc)}
+    result = run_interference(
+        topo,
+        mode=task.sim("mode", "noise"),
+        rate=task.rate,
+        fg_rate=task.sim("fg_rate", 0.05),
+        pattern=task.pattern,
+        qos=bool(task.sim("qos", True)),
+        warmup=task.sim("warmup", 300),
+        measure=task.sim("measure", 2000),
+        drain_limit=task.sim("drain_limit", 60_000),
+        seed=task.seed,
+        payload_bytes=task.sim("payload_bytes", 64),
+        noise_fraction=task.sim("noise_fraction", 0.5),
+        hotspot_count=task.sim("hotspot_count", 4),
+        burst_period=task.sim("burst_period", 256),
+        burst_duty=task.sim("burst_duty", 0.25),
+        incast_degree=task.sim("incast_degree", 16),
+        incast_period=task.sim("incast_period", 64),
+        instrument=instrument,
+    )
+    payload = result.payload()
+    payload["radix"] = _radix_of(topo)
+    return payload
+
+
 _RUNNERS = {
     "synthetic": _run_synthetic,
     "saturation": _run_saturation,
@@ -549,4 +596,5 @@ _RUNNERS = {
     "faults": _run_faults,
     "perf": _run_perf,
     "service": _run_service,
+    "interference": _run_interference,
 }

@@ -77,6 +77,7 @@ class FaultLayer:
         sim: NetworkSimulator,
         retransmit_timeout: int = 64,
         max_retries: int = 8,
+        retransmit_class: int | None = None,
     ) -> None:
         if retransmit_timeout < 1:
             raise ValueError(
@@ -87,6 +88,10 @@ class FaultLayer:
         self.sim = sim
         self.retransmit_timeout = retransmit_timeout
         self.max_retries = max_retries
+        #: Traffic class for retransmitted clones; ``None`` inherits the
+        #: original packet's class, an explicit id (e.g. the background
+        #: class) rate-shapes retry storms below foreground traffic.
+        self.retransmit_class = retransmit_class
         #: Routers that physically died (known instantly to *themselves*:
         #: a crashed node's own injector stops with it).
         self.crashed: set[int] = set()
@@ -204,6 +209,11 @@ class FaultLayer:
                 size_flits=packet.size_flits,
                 payload_bytes=packet.payload_bytes,
                 kind=packet.kind,
+                tclass=(
+                    packet.tclass
+                    if self.retransmit_class is None
+                    else self.retransmit_class
+                ),
                 measured=False,
                 context=packet.context,
             )

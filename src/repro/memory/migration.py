@@ -324,6 +324,7 @@ class MigrationEngine:
         max_inflight_pages: int = 4,
         chunk_bytes: int = 512,
         mode: str = "migrate",
+        tclass: int = 0,
     ) -> None:
         if rate_limit_bytes_per_cycle <= 0:
             raise ValueError(
@@ -348,6 +349,12 @@ class MigrationEngine:
         self.max_inflight_pages = max_inflight_pages
         self.chunk_bytes = chunk_bytes
         self.mode = mode
+        #: Traffic class stamped on MIG_READ/MIG_DATA packets.  With a
+        #: QoS table installed, tagging migrations as the rate-shaped
+        #: background class keeps bulk transfers out of the foreground's
+        #: credit reservation; the default 0 leaves classless runs
+        #: bit-identical.
+        self.tclass = tclass
         self.page_bytes = mapper.interleave_bytes
         self.issue_interval = max(1, round(self.page_bytes / self.rate_limit))
         self.records: list[MigrationRecord] = []
@@ -504,6 +511,7 @@ class MigrationEngine:
             size_flits=self.sim.config.packet_flits(_REQUEST_BYTES),
             payload_bytes=_REQUEST_BYTES,
             kind=PacketKind.MIG_READ,
+            tclass=self.tclass,
             measured=False,
             context=(page, src, dst),
         )
@@ -536,6 +544,7 @@ class MigrationEngine:
                 size_flits=config.packet_flits(payload),
                 payload_bytes=payload,
                 kind=PacketKind.MIG_DATA,
+                tclass=self.tclass,
                 measured=False,
                 context=(page, src, dst),
             )

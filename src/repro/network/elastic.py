@@ -492,7 +492,7 @@ class LiveReconfigurator:
             # drain credits out of circulation (a full blocked window
             # of held credits is enough to wedge saturated networks).
             if from_link is not None:
-                self.sim.release_inbound(from_link, packet.vc)
+                self.sim.release_inbound(from_link, packet.vc, packet.tclass)
             self._parked.append((self.sim.now, node, packet, None, first_hop))
             return True
         return False

@@ -49,6 +49,10 @@ class Packet:
     size_flits: int = 1
     payload_bytes: int = 64
     kind: PacketKind = PacketKind.DATA
+    #: Traffic class id (row of the installed QoS class table); 0 is
+    #: the default class, and without an installed table the field is
+    #: carried but never consulted.
+    tclass: int = 0
     vc: int = 0
     inject_time: int = 0
     measured: bool = True

@@ -87,6 +87,7 @@ class GreedyPolicy(RoutingPolicy):
         # identity so any other probe falls back to the generic scan.
         self._sim = None
         self._probe_cb = None
+        self._class_cbs: tuple = ()
         self._probes: dict[int, list] = {}
 
     def attach_simulator(self, sim) -> None:
@@ -106,6 +107,10 @@ class GreedyPolicy(RoutingPolicy):
         """
         self._sim = sim
         self._probe_cb = sim._port_load_cb
+        #: this sim's per-class load closures (installed QoS only);
+        #: each carries its class-id group as ``qos_ids``.  Matching is
+        #: by identity, so a foreign probe still takes the generic path.
+        self._class_cbs = getattr(sim, "_class_load_cbs", ())
         self._probes.clear()
 
     def _router_probes(self, current: int) -> list:
@@ -180,6 +185,21 @@ class GreedyPolicy(RoutingPolicy):
                     loaded = False
                     for probe_port, loaded_min in self._router_probes(current):
                         if probe_port.count >= loaded_min:
+                            loaded = True
+                            break
+                elif port_load in self._class_cbs:
+                    # Class-aware twin of the int quick-reject: the
+                    # probe sums the queued counts of the classes in
+                    # the closure's priority group against the same
+                    # precomputed integer threshold (port caps are
+                    # class-independent, so loaded_min transfers).
+                    ids = port_load.qos_ids
+                    loaded = False
+                    for probe_port, loaded_min in self._router_probes(current):
+                        queued = 0
+                        for k in ids:
+                            queued += probe_port.cls_count[k]
+                        if queued >= loaded_min:
                             loaded = True
                             break
                 else:

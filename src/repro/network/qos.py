@@ -1,0 +1,184 @@
+"""Traffic classes for multi-tenant quality of service.
+
+The paper's fabric carries every flow at equal priority; this module
+adds the missing control plane: a small, fixed table of *traffic
+classes* that rides on every packet (``Packet.tclass``) and drives
+
+* **strict-priority arbitration** across priority bands at every
+  output port (lower ``priority`` number wins), with
+  **deficit-weighted round-robin** among the classes sharing a band
+  (``weight`` flits of service per quantum), and
+* **per-class credit partitioning**: each virtual channel's credit
+  pool is split into per-class reservations (``credit_share`` of the
+  pool, floored) plus a shared remainder that any class may borrow
+  from when its own reservation is exhausted — work-conserving, so an
+  idle reservation never strands link bandwidth.
+
+The table is installed *before traffic* via
+:meth:`repro.network.simulator.NetworkSimulator.install_qos`; without
+it the simulator runs the classless fast path bit-identically to
+builds that predate this module.  Class ids are dense (``0..K-1``) and
+id 0 is the default: untagged packets — every packet created by code
+that does not opt in — land in class 0, so the conventional table
+below puts the latency-critical class there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "TrafficClass",
+    "QoSConfig",
+    "LATENCY_CLASS",
+    "BULK_CLASS",
+    "BACKGROUND_CLASS",
+    "default_classes",
+]
+
+#: Conventional class ids used across the stack (injectors, the
+#: migration engine, the fault retransmit queue, and the service's
+#: tenant mapping all agree on these).
+LATENCY_CLASS = 0
+BULK_CLASS = 1
+BACKGROUND_CLASS = 2
+
+
+@dataclass(frozen=True)
+class TrafficClass:
+    """One row of the class table.
+
+    Parameters
+    ----------
+    id:
+        Dense class id, equal to the row's index in the table; carried
+        on every packet as ``Packet.tclass``.
+    name:
+        Human-readable label, used in reports, SLO summaries and
+        metric labels.
+    priority:
+        Strict-priority band; *lower is more urgent*.  A port never
+        transmits from a band while a higher band has a ready packet
+        with an available credit.
+    weight:
+        Deficit-weighted round-robin weight among classes sharing a
+        priority band: each rotation grants ``weight x drr_quantum``
+        flits of service.
+    credit_share:
+        Fraction of each virtual channel's credit pool reserved for
+        this class (floored to whole credits); the unreserved
+        remainder forms the shared pool every class can borrow from.
+    """
+
+    id: int
+    name: str
+    priority: int
+    weight: int = 1
+    credit_share: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise ValueError(f"class id must be >= 0, got {self.id}")
+        if not self.name:
+            raise ValueError("class name must be non-empty")
+        if self.priority < 0:
+            raise ValueError(
+                f"priority must be >= 0, got {self.priority}"
+            )
+        if self.weight < 1:
+            raise ValueError(f"weight must be >= 1, got {self.weight}")
+        if not 0.0 <= self.credit_share <= 1.0:
+            raise ValueError(
+                f"credit_share must be in [0, 1], got {self.credit_share}"
+            )
+
+
+def default_classes() -> tuple[TrafficClass, ...]:
+    """The conventional three-class table used across the repo.
+
+    ``latency`` (id 0, the default class) outranks ``bulk`` (id 1),
+    which outranks ``background`` (id 2 — migration and retransmit
+    traffic).  Latency reserves half of every credit pool, bulk a
+    quarter; background runs almost entirely on borrowed shared
+    credits, which is exactly the rate shaping that keeps recovery
+    traffic schedulable instead of disruptive.
+    """
+    return (
+        TrafficClass(LATENCY_CLASS, "latency", priority=0,
+                     weight=4, credit_share=0.5),
+        TrafficClass(BULK_CLASS, "bulk", priority=1,
+                     weight=2, credit_share=0.25),
+        TrafficClass(BACKGROUND_CLASS, "background", priority=2,
+                     weight=1, credit_share=0.0),
+    )
+
+
+@dataclass(frozen=True)
+class QoSConfig:
+    """A validated class table plus arbitration tuning.
+
+    Parameters
+    ----------
+    classes:
+        The class table; ids must be dense ``0..K-1`` in order, and
+        the credit shares must sum to at most 1.
+    drr_quantum:
+        Flits of service granted per unit of ``weight`` each time the
+        intra-band rotation reaches a class.
+    """
+
+    classes: tuple[TrafficClass, ...]
+    drr_quantum: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("QoSConfig needs at least one traffic class")
+        for i, cls in enumerate(self.classes):
+            if cls.id != i:
+                raise ValueError(
+                    f"class ids must be dense 0..K-1 in table order; "
+                    f"row {i} has id {cls.id}"
+                )
+        names = [cls.name for cls in self.classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate class names: {names}")
+        total_share = sum(cls.credit_share for cls in self.classes)
+        if total_share > 1.0 + 1e-9:
+            raise ValueError(
+                f"credit shares sum to {total_share:.3f} > 1; the shared "
+                "pool would be negative"
+            )
+        if self.drr_quantum < 1:
+            raise ValueError(
+                f"drr_quantum must be >= 1, got {self.drr_quantum}"
+            )
+
+    @classmethod
+    def default(cls) -> "QoSConfig":
+        """The three-class latency/bulk/background table."""
+        return cls(classes=default_classes())
+
+    @property
+    def num_classes(self) -> int:
+        """Number of rows in the class table."""
+        return len(self.classes)
+
+    def bands(self) -> list[list[int]]:
+        """Class ids grouped by priority band, most urgent band first.
+
+        Within a band, ids keep table order — the deterministic
+        starting rotation of the deficit-weighted round-robin.
+        """
+        by_priority: dict[int, list[int]] = {}
+        for cls in self.classes:
+            by_priority.setdefault(cls.priority, []).append(cls.id)
+        return [by_priority[p] for p in sorted(by_priority)]
+
+    def class_of(self, tclass: int) -> TrafficClass:
+        """Look up a class row by id (raises on unknown ids)."""
+        if not 0 <= tclass < len(self.classes):
+            raise ValueError(
+                f"unknown traffic class {tclass} (table has "
+                f"{len(self.classes)} classes)"
+            )
+        return self.classes[tclass]

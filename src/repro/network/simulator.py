@@ -52,6 +52,7 @@ import math
 from collections import deque
 from collections.abc import Callable, Iterable
 
+from repro.core.virtual_channels import partition_credits
 from repro.network.config import NetworkConfig
 from repro.network.packet import Packet
 from repro.network.policies import RoutingPolicy
@@ -95,7 +96,9 @@ class _OutPort:
     __slots__ = ("u", "v", "queues", "credits", "count", "free_at",
                  "free_seq", "free_armed", "channels", "rr", "wake_at",
                  "stall_armed", "reserve_debt", "stall_failures", "lat",
-                 "cap", "saved_channels", "drop_pids")
+                 "cap", "saved_channels", "drop_pids", "cls_credits",
+                 "cls_cap", "shared_credits", "cls_count", "cls_rr",
+                 "deficit", "band_pos", "cls_debt")
 
     def __init__(self, u: int, v: int, num_vcs: int, channels: int,
                  credits_per_vc: int, lat: int, cap: int) -> None:
@@ -129,6 +132,25 @@ class _OutPort:
         self.stall_failures = 0
         self.lat = lat  # SerDes + wire cycles of this link
         self.cap = cap  # queue capacity for port_load normalization
+        # QoS state (armed by NetworkSimulator.install_qos; None on the
+        # classless fast path).  When armed, ``queues`` is re-laid-out
+        # as a flat ``num_classes x num_vcs`` list (index
+        # ``tclass * num_vcs + vc``) and each VC's credit pool is split
+        # into per-class reservations plus a shared borrow pool such
+        # that ``credits[vc] == shared_credits[vc] + sum over classes
+        # of cls_credits[c * num_vcs + vc]`` at all times.
+        self.cls_credits: list[int] | None = None  # remaining, per class x vc
+        self.cls_cap: list[int] | None = None  # reservation ceiling
+        self.shared_credits: list[int] | None = None  # per vc
+        self.cls_count: list[int] | None = None  # queued packets per class
+        self.cls_rr: list[int] | None = None  # per-class VC rotation
+        self.deficit: list[int] | None = None  # DWRR deficit per class
+        self.band_pos: list[int] | None = None  # rotation per priority band
+        # Reserve-slot loans attributed per class x vc: a loan made for
+        # a blocked class is repaid only by that class's own releases,
+        # so one class's deadlock recovery can never silently drain
+        # another class's credit reservation.
+        self.cls_debt: list[int] | None = None
 
     def occupancy(self) -> int:
         """Packets currently buffered across all VCs of this port."""
@@ -207,6 +229,19 @@ class NetworkSimulator:
         #: hot path free of instrumentation beyond a single identity
         #: test, exactly like the fault layer above.
         self._probes = None
+        #: Installed QoS class table (repro.network.qos.QoSConfig);
+        #: None keeps the classless arbitration/credit fast path
+        #: bit-identical behind single ``is None`` tests.
+        self._qos = None
+        self._num_vcs = policy.num_vcs
+        #: per-class port-load closures handed to the routing policy
+        #: (class c sees the queued packets of every class at its own
+        #: priority or higher); empty until install_qos.
+        self._class_load_cbs: tuple = ()
+        self._qos_bands: tuple = ()
+        self._qos_band_of: tuple = ()
+        self._qos_weights: tuple = ()
+        self._qos_quantum = 0
         n = self._n
         #: packets in the network destined to each node (O(1) inflight_to).
         self._dst_inflight: list[int] = [0] * n
@@ -264,6 +299,8 @@ class NetworkSimulator:
             self._node_ports[u].append(port)
             if v != u:
                 self._node_ports[v].append(port)
+            if self._qos is not None:
+                self._arm_qos_port(port)
         return port
 
     def port_load(self, u: int, v: int) -> float:
@@ -315,7 +352,7 @@ class NetworkSimulator:
         self._pending_arrive[node] += 1
         self._push(self.now + delay, _ARRIVE, node, (packet, from_link, first_hop))
 
-    def release_inbound(self, link, vc: int) -> None:
+    def release_inbound(self, link, vc: int, tclass: int = 0) -> None:
         """Return an inbound-link credit early (packet absorbed locally).
 
         Live reconfiguration calls this when it parks a packet: the
@@ -323,10 +360,13 @@ class NetworkSimulator:
         goes back upstream instead of starving the network for the
         whole blocked window.  ``link`` is the opaque inbound-link
         token from the arrival hook (a ``(u, v)`` tuple also works).
+        ``tclass`` is the absorbed packet's traffic class; under an
+        installed QoS table it routes the repayment to the right
+        per-class credit pool and is ignored otherwise.
         """
         if not isinstance(link, _OutPort):
             link = self._ports[link[0] * self._n + link[1]]
-        self._release_credit(link, vc)
+        self._release_credit(link, vc, tclass)
 
     # -- fault support -----------------------------------------------------
 
@@ -362,6 +402,104 @@ class NetworkSimulator:
         """
         self._probes = probes
 
+    # -- QoS support -------------------------------------------------------
+
+    def install_qos(self, qos) -> None:
+        """Install a :class:`repro.network.qos.QoSConfig` class table.
+
+        Must run before any traffic (the per-class credit partition is
+        derived from the full pools): every existing port — and every
+        port created later — gets its output queues re-laid-out per
+        class, its credits split into per-class reservations plus a
+        shared borrow pool, and its arbitration switched to
+        strict-priority across bands with deficit-weighted round-robin
+        within a band (:meth:`_qos_try_send`).  Routing policies are
+        re-attached so adaptive scoring sees class-aware port loads.
+        Without this call the simulator takes the classless fast path,
+        bit-identical to builds without QoS.
+        """
+        if qos is None:
+            raise ValueError("install_qos requires a QoSConfig, not None")
+        if self._qos is not None:
+            raise RuntimeError("a QoS class table is already installed")
+        if self.stats.sent or self._events_processed:
+            raise RuntimeError(
+                "install_qos must run before any traffic (credit pools "
+                "are partitioned from their initial full state)"
+            )
+        self._qos = qos
+        bands = qos.bands()
+        self._qos_bands = tuple(tuple(band) for band in bands)
+        band_of = [0] * qos.num_classes
+        for band_idx, members in enumerate(bands):
+            for cls_id in members:
+                band_of[cls_id] = band_idx
+        self._qos_band_of = tuple(band_of)
+        self._qos_weights = tuple(cls.weight for cls in qos.classes)
+        self._qos_quantum = qos.drr_quantum
+        for port in self._ports.values():
+            self._arm_qos_port(port)
+        # Per-class load closures: class c's view of a port is the
+        # occupancy of every class at its priority or higher — lower
+        # priority traffic will be arbitrated around, so it should not
+        # deter adaptive routing.  Each closure carries its class-id
+        # group as ``qos_ids`` so GreedyPolicy's integer quick-reject
+        # can recognize it (see policies.attach_simulator).
+        ports = self._ports
+        n = self._n
+        cbs = []
+        for cls in qos.classes:
+            ids = tuple(
+                other.id for other in qos.classes
+                if other.priority <= cls.priority
+            )
+
+            def class_load(u: int, v: int, _ids=ids) -> float:
+                port = ports.get(u * n + v)
+                if port is None:
+                    return 0.0
+                cls_count = port.cls_count
+                queued = 0
+                for k in _ids:
+                    queued += cls_count[k]
+                return min(1.0, queued / port.cap)
+
+            class_load.qos_ids = ids
+            cbs.append(class_load)
+        self._class_load_cbs = tuple(cbs)
+        attach = getattr(self.policy, "attach_simulator", None)
+        if attach is not None:
+            attach(self)
+
+    def _arm_qos_port(self, port: _OutPort) -> None:
+        """Re-lay-out one port's queues and credits for the class table.
+
+        Only ever runs on a traffic-free port (install_qos pre-dates
+        traffic and lazy port creation allocates empty ports), so the
+        flat per-class queues start empty and each VC's pool is split
+        from its full credit count.
+        """
+        qos = self._qos
+        num_vcs = self._num_vcs
+        num_classes = qos.num_classes
+        shares = [cls.credit_share for cls in qos.classes]
+        port.queues = [deque() for _ in range(num_classes * num_vcs)]
+        cls_cap: list[int] = [0] * (num_classes * num_vcs)
+        shared: list[int] = [0] * num_vcs
+        for vc in range(num_vcs):
+            reserved, spill = partition_credits(port.credits[vc], shares)
+            for cls_id, amount in enumerate(reserved):
+                cls_cap[cls_id * num_vcs + vc] = amount
+            shared[vc] = spill
+        port.cls_cap = cls_cap
+        port.cls_credits = list(cls_cap)
+        port.shared_credits = shared
+        port.cls_count = [0] * num_classes
+        port.cls_rr = [0] * num_classes
+        port.deficit = [0] * num_classes
+        port.band_pos = [0] * len(self._qos_bands)
+        port.cls_debt = [0] * (num_classes * num_vcs)
+
     def on_drop(self, callback: Callable[[Packet, int], None]) -> None:
         """Register ``callback(packet, time)`` to run at each drop."""
         self._on_drop.append(callback)
@@ -387,7 +525,7 @@ class NetworkSimulator:
             )
         self._dst_inflight[dst] = remaining
         if from_link is not None:
-            self._release_credit(from_link, packet.vc)
+            self._release_credit(from_link, packet.vc, packet.tclass)
         for callback in self._on_drop:
             callback(packet, self.now)
         probes = self._probes
@@ -482,6 +620,8 @@ class NetworkSimulator:
                 taken.append((packet, from_link))
         removed = len(taken)
         port.count -= removed
+        if port.cls_count is not None:
+            port.cls_count = [0] * len(port.cls_count)
         self._node_traffic[u] -= removed
         self._node_traffic[v] -= removed
         return taken
@@ -602,7 +742,7 @@ class NetworkSimulator:
             stats.fallback_hops += packet.fallback_hops
             stats.total_hops += packet.hops
         if from_link is not None:
-            self._release_credit(from_link, packet.vc)
+            self._release_credit(from_link, packet.vc, packet.tclass)
         for callback in self._on_delivery:
             callback(packet, self.now)
         probes = self._probes
@@ -625,7 +765,15 @@ class NetworkSimulator:
             node, packet, from_link, first_hop
         ):
             return  # parked: the hook re-enters it via rearrive()
-        nxt = self.policy.forward(node, packet, self._port_load_cb, first_hop)
+        qos = self._qos
+        if qos is None:
+            nxt = self.policy.forward(
+                node, packet, self._port_load_cb, first_hop
+            )
+        else:
+            nxt = self.policy.forward(
+                node, packet, self._class_load_cbs[packet.tclass], first_hop
+            )
         port = self._ports.get(node * self._n + nxt)
         if port is None:
             port = self._port(node, nxt)
@@ -635,7 +783,14 @@ class NetworkSimulator:
         now = self.now
         rc = self._router_cycles
         was_empty = not port.count
-        port.queues[packet.vc].append((now + rc, packet, from_link))
+        if qos is None:
+            port.queues[packet.vc].append((now + rc, packet, from_link))
+        else:
+            tclass = packet.tclass
+            port.queues[tclass * self._num_vcs + packet.vc].append(
+                (now + rc, packet, from_link)
+            )
+            port.cls_count[tclass] += 1
         port.count += 1
         traffic = self._node_traffic
         traffic[node] += 1
@@ -666,15 +821,37 @@ class NetworkSimulator:
             return
         self._try_send(port)
 
-    def _release_credit(self, port: _OutPort, vc: int) -> None:
+    def _release_credit(self, port: _OutPort, vc: int, tclass: int = 0) -> None:
         debt = port.reserve_debt
-        if debt[vc] > 0:
-            # A reserve (escape) slot was loaned to this VC during
-            # deadlock recovery; repay it before restoring normal
-            # credits, so downstream buffering stays bounded.
-            debt[vc] -= 1
+        if self._qos is None:
+            if debt[vc] > 0:
+                # A reserve (escape) slot was loaned to this VC during
+                # deadlock recovery; repay it before restoring normal
+                # credits, so downstream buffering stays bounded.
+                debt[vc] -= 1
+            else:
+                port.credits[vc] += 1
         else:
-            port.credits[vc] += 1
+            flat = tclass * self._num_vcs + vc
+            cls_debt = port.cls_debt
+            if cls_debt[flat] > 0:
+                # Repay only this class's own loans: debt swallowing is
+                # class-attributed, so one class's deadlock recovery
+                # never drains another class's reservation (a
+                # class-blind swallow would let background stalls
+                # siphon the latency class's credits into thin air).
+                cls_debt[flat] -= 1
+                debt[vc] -= 1
+            else:
+                port.credits[vc] += 1
+                # Repay the releasing class's reservation first (up to
+                # its ceiling), overflow to the shared borrow pool —
+                # the inverse of the consume rule in _qos_try_send.
+                cls_credits = port.cls_credits
+                if cls_credits[flat] < port.cls_cap[flat]:
+                    cls_credits[flat] += 1
+                else:
+                    port.shared_credits[vc] += 1
         if port.count:
             self._try_send(port)
 
@@ -685,6 +862,9 @@ class NetworkSimulator:
         # cascades stay visible through them.  The cheap guards run
         # before the prologue: roughly half the calls (credit releases
         # into empty ports, retries on frozen links) do no work at all.
+        if self._qos is not None:
+            self._qos_try_send(port)
+            return
         if not port.count or not port.channels:
             return
         now = self.now
@@ -860,6 +1040,220 @@ class NetworkSimulator:
             if probes is not None:
                 probes.on_send(port, packet, now, tail)
 
+    def _qos_try_send(self, port: _OutPort) -> None:
+        """Class-aware arbitration (the QoS twin of :meth:`_try_send`).
+
+        The channel scan, retry/wake/stall arming, lazy sequence-number
+        reservation and transmit tail replicate :meth:`_try_send`
+        exactly; only the *selection* differs.  Selection is strict
+        priority across bands — a band is consulted only when every
+        higher band has no head-ready packet with an available credit —
+        and deficit-weighted round-robin within a band: the rotation
+        (``port.band_pos``) parks on a class while its deficit counter
+        lasts (refilled with ``weight x drr_quantum`` flits when the
+        rotation reaches it) and advances when the deficit is spent or
+        the class has nothing sendable.  Within a class, VCs rotate
+        round-robin (``port.cls_rr``).  A class can send when its own
+        credit reservation *or* the shared borrow pool has a credit —
+        the work-conserving half of the partition.
+        """
+        if not port.count or not port.channels:
+            return
+        now = self.now
+        cur_seq = self._cur_seq
+        free_at = port.free_at
+        free_seq = port.free_seq
+        armed = port.free_armed
+        queues = port.queues
+        credits = port.credits
+        cls_credits = port.cls_credits
+        shared = port.shared_credits
+        cls_rr = port.cls_rr
+        deficit = port.deficit
+        band_pos = port.band_pos
+        num_vcs = self._num_vcs
+        bands = self._qos_bands
+        band_of = self._qos_band_of
+        weights = self._qos_weights
+        quantum = self._qos_quantum
+        heap = self._heap
+        heappush = heapq.heappush
+        eager = self._eager
+        traffic = self._node_traffic
+        pending_arrive = self._pending_arrive
+        bits_cache = self._bits_cache
+        stats = self.stats
+        while True:
+            if not port.count:
+                return
+            channels = port.channels
+            if not channels:
+                return
+            if channels == 1:
+                fa = free_at[0]
+                if fa < now or (fa == now and free_seq[0] <= cur_seq):
+                    chan = 0
+                else:
+                    chan = -1
+            else:
+                chan = -1
+                for c in range(channels):
+                    fa = free_at[c]
+                    if fa < now or (fa == now and free_seq[c] <= cur_seq):
+                        chan = c
+                        break
+            if chan < 0:
+                # Every channel mid-transmission: arm one retry at the
+                # earliest release point (same as _try_send).
+                best = 0
+                bfa = free_at[0]
+                bfs = free_seq[0]
+                for c in range(1, channels):
+                    fa = free_at[c]
+                    if fa < bfa or (fa == bfa and free_seq[c] < bfs):
+                        best = c
+                        bfa = fa
+                        bfs = free_seq[c]
+                if not armed[best]:
+                    armed[best] = True
+                    self._link_events_elided -= 1
+                    heappush(heap, (bfa, bfs, _LINK_FREE, port, best))
+                return
+            chosen_cls = -1
+            chosen_vc = -1
+            min_ready = None
+            credit_blocked = False
+            for band_idx, members in enumerate(bands):
+                m = len(members)
+                pos = band_pos[band_idx]
+                for _step in range(m):
+                    cls = members[pos]
+                    rr = cls_rr[cls]
+                    base = cls * num_vcs
+                    found_vc = -1
+                    for i in range(num_vcs):
+                        vc = rr + i
+                        if vc >= num_vcs:
+                            vc -= num_vcs
+                        queue = queues[base + vc]
+                        if not queue:
+                            continue
+                        ready = queue[0][0]
+                        if ready > now:
+                            if min_ready is None or ready < min_ready:
+                                min_ready = ready
+                            continue
+                        if cls_credits[base + vc] <= 0 and shared[vc] <= 0:
+                            credit_blocked = True
+                            continue  # retried on credit release
+                        found_vc = vc
+                        break
+                    if found_vc >= 0:
+                        if deficit[cls] <= 0:
+                            deficit[cls] += quantum * weights[cls]
+                        chosen_cls = cls
+                        chosen_vc = found_vc
+                        band_pos[band_idx] = pos
+                        break
+                    # Nothing sendable for this class right now: drop
+                    # its leftover deficit (standard DRR — an idle or
+                    # blocked class must not hoard service) and rotate.
+                    deficit[cls] = 0
+                    pos += 1
+                    if pos >= m:
+                        pos = 0
+                if chosen_cls >= 0:
+                    break
+            if chosen_cls < 0:
+                if min_ready is not None:
+                    if port.wake_at is None or port.wake_at > min_ready:
+                        port.wake_at = min_ready
+                        self._push(min_ready, _WAKE, port, None)
+                    best = -1
+                    bfa = bfs = 0
+                    for c in range(channels):
+                        fa = free_at[c]
+                        fs = free_seq[c]
+                        if (fa > now or (fa == now and fs > cur_seq)) and (
+                            fa <= min_ready
+                        ) and (
+                            best < 0 or fa < bfa or (fa == bfa and fs < bfs)
+                        ):
+                            best = c
+                            bfa = fa
+                            bfs = fs
+                    if best >= 0 and not armed[best]:
+                        armed[best] = True
+                        self._link_events_elided -= 1
+                        heappush(heap, (bfa, bfs, _LINK_FREE, port, best))
+                if credit_blocked and not port.stall_armed:
+                    port.stall_armed = True
+                    self._push(
+                        now + self.config.deadlock_timeout_cycles,
+                        _STALL, port, None,
+                    )
+                    probes = self._probes
+                    if probes is not None:
+                        probes.on_credit_stall(port, now)
+                return
+            flat = chosen_cls * num_vcs + chosen_vc
+            _ready, packet, from_link = queues[flat].popleft()
+            port.count -= 1
+            port.cls_count[chosen_cls] -= 1
+            cls_rr[chosen_cls] = (
+                chosen_vc + 1 if chosen_vc + 1 < num_vcs else 0
+            )
+            # Consume: the aggregate per-VC counter always moves (the
+            # stall/escape machinery reasons about it); the class pays
+            # from its reservation first, then borrows shared.
+            credits[chosen_vc] -= 1
+            if cls_credits[flat] > 0:
+                cls_credits[flat] -= 1
+            else:
+                shared[chosen_vc] -= 1
+            deficit[chosen_cls] -= packet.size_flits
+            if deficit[chosen_cls] <= 0:
+                # Quantum spent: rotate this band past the class.
+                band_idx = band_of[chosen_cls]
+                members = bands[band_idx]
+                pos = band_pos[band_idx] + 1
+                band_pos[band_idx] = 0 if pos >= len(members) else pos
+            tail = now + packet.size_flits
+            # Claim before the inbound-credit release cascade — see the
+            # _SEQ_PENDING commentary in _try_send.
+            free_at[chan] = tail
+            free_seq[chan] = _SEQ_PENDING
+            armed[chan] = True
+            traffic[port.u] -= 1
+            traffic[port.v] -= 1
+            if from_link is not None:
+                self._release_credit(from_link, packet.vc, packet.tclass)
+            seq = self._seq + 1
+            self._seq = seq
+            free_seq[chan] = seq
+            if eager:
+                heappush(heap, (tail, seq, _LINK_FREE, port, chan))
+            else:
+                armed[chan] = False
+                self._link_events_elided += 1
+            packet.hops += 1
+            bits = bits_cache.get(packet.payload_bytes)
+            if bits is None:
+                bits = self.config.packet_bits(packet.payload_bytes)
+                bits_cache[packet.payload_bytes] = bits
+            stats.bit_hops += bits
+            stats.flit_hops += packet.size_flits
+            v = port.v
+            pending_arrive[v] += 1
+            seq = self._seq + 1
+            self._seq = seq
+            heappush(
+                heap, (tail + port.lat, seq, _ARRIVE, v, (packet, port, False))
+            )
+            probes = self._probes
+            if probes is not None:
+                probes.on_send(port, packet, now, tail)
+
     def _recover_stall(self, port: _OutPort) -> None:
         """Escape-buffer deadlock recovery (see module docstring).
 
@@ -892,11 +1286,27 @@ class NetworkSimulator:
         else:
             return  # every channel busy: recovery can't transmit anyway
         credits = port.credits
-        blocked = [
-            vc
-            for vc, queue in enumerate(port.queues)
-            if queue and queue[0][0] <= self.now and credits[vc] <= 0
-        ]
+        qos = self._qos
+        if qos is None:
+            blocked = [
+                vc
+                for vc, queue in enumerate(port.queues)
+                if queue and queue[0][0] <= self.now and credits[vc] <= 0
+            ]
+        else:
+            # Flat class x VC queues: a class is credit-blocked when
+            # both its own reservation and the shared borrow pool for
+            # that VC are empty (the aggregate counter may still be
+            # positive on behalf of *other* classes' reservations).
+            num_vcs = self._num_vcs
+            cls_credits = port.cls_credits
+            shared = port.shared_credits
+            blocked = [
+                flat
+                for flat, queue in enumerate(port.queues)
+                if queue and queue[0][0] <= self.now
+                and cls_credits[flat] <= 0 and shared[flat % num_vcs] <= 0
+            ]
         if not blocked:
             port.stall_failures = 0
             return
@@ -914,7 +1324,18 @@ class NetworkSimulator:
             self.stats.emergency_loans += 1
         else:
             port.stall_failures = 0
-        oldest_vc = min(blocked, key=lambda vc: port.queues[vc][0][0])
+        oldest = min(blocked, key=lambda i: port.queues[i][0][0])
+        if qos is None:
+            oldest_vc = oldest
+        else:
+            # Loan straight into the blocked class's own pool and
+            # attribute the debt to it, so the loan is repaid by that
+            # class's next release (class-attributed debt; see
+            # _release_credit).  Conservation holds: aggregate and the
+            # class pool move together.
+            oldest_vc = oldest % self._num_vcs
+            port.cls_credits[oldest] += 1
+            port.cls_debt[oldest] += 1
         credits[oldest_vc] += 1
         port.reserve_debt[oldest_vc] += 1
         self.stats.deadlock_recoveries += 1

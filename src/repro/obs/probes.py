@@ -285,6 +285,35 @@ class FabricProbes:
                 )
 
         reg.collector(collect_tenants)
+
+        def collect_classes(emit):
+            """Per-traffic-class SLO metrics (QoS services only)."""
+            if getattr(service, "_qos", None) is None:
+                return
+            for name, row in sorted(service.class_summary().items()):
+                labels = {"tclass": name}
+                emit(
+                    "service_class_completed_total", "counter",
+                    row["completed"], labels=labels,
+                )
+                emit(
+                    "service_class_shed_total", "counter",
+                    row["shed"], labels=labels,
+                )
+                emit(
+                    "service_class_queued", "gauge",
+                    row["queued"], labels=labels,
+                )
+                emit(
+                    "service_class_latency_p99_cycles", "gauge",
+                    row["p99"], labels=labels,
+                )
+                emit(
+                    "service_class_latency_p50_cycles", "gauge",
+                    row["p50"], labels=labels,
+                )
+
+        reg.collector(collect_classes)
         return self
 
     # -- finishing and summaries -------------------------------------------

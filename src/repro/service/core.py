@@ -76,6 +76,8 @@ class ServiceRequest:
     size: int
     t_submit: int
     req_id: Any = None
+    #: Traffic class id (tenant-derived under QoS; 0 when classless).
+    tclass: int = 0
     status: str = "pending"
     t_inject: int | None = None
     t_done: int | None = None
@@ -190,6 +192,8 @@ class FabricService:
         detection_timeout: int = 200,
         retransmit_timeout: int = 64,
         max_retries: int = 8,
+        qos: bool = False,
+        tenant_classes: dict[str, int] | None = None,
     ) -> None:
         from repro.core.reconfig import ReconfigurationManager
         from repro.core.routing import AdaptiveGreediestRouting
@@ -225,6 +229,10 @@ class FabricService:
             "detection_timeout": detection_timeout,
             "retransmit_timeout": retransmit_timeout,
             "max_retries": max_retries,
+            "qos": bool(qos),
+            "tenant_classes": (
+                dict(tenant_classes) if tenant_classes else None
+            ),
         }
         config = NetworkConfig(emergency_stall_threshold=16)
         topology = make_topology(
@@ -242,10 +250,26 @@ class FabricService:
         else:
             policy = topology.make_policy(adaptive=True)
         self.sim = NetworkSimulator(topology, policy, config, sample_free=True)
+        #: Installed QoS class table (None = classless; the classless
+        #: request path, admission, digests, and replay stay
+        #: bit-identical to the pre-QoS service).
+        self._qos = None
+        background_class = 0
+        if qos:
+            from repro.network.qos import BACKGROUND_CLASS, QoSConfig
+
+            self._qos = QoSConfig.default()
+            self.sim.install_qos(self._qos)
+            background_class = BACKGROUND_CLASS
+        #: Tenant name -> class id; unmapped tenants ride the default
+        #: (latency-critical) class 0.
+        self.tenant_classes: dict[str, int] = dict(tenant_classes or {})
         self.layer = FaultLayer(
             self.sim,
             retransmit_timeout=retransmit_timeout,
             max_retries=max_retries,
+            # Retry storms are shaped below foreground traffic.
+            retransmit_class=background_class if qos else None,
         )
 
         active = list(topology.active_nodes)
@@ -261,6 +285,8 @@ class FabricService:
             self.directory,
             self.memory_node,
             rate_limit_bytes_per_cycle=mig_rate_limit,
+            # Page moves are bulk background work under a class table.
+            tclass=background_class,
         )
         self.live = None
         if is_sf:
@@ -318,7 +344,21 @@ class FabricService:
         self._pump_scheduled = False
         self._reaper_scheduled = False
         self._gated: list[int] = []
-        self._source_ring = sorted(active)
+        #: Queued-request count per traffic class (QoS admission only).
+        self._queued_by_class: dict[int, int] = {}
+        #: Per-class SLO accounting (QoS only): completions, sheds, and
+        #: exact latency sketches, keyed by class id.
+        self._class_completed: dict[int, int] = {}
+        self._class_shed: dict[int, int] = {}
+        self._class_sketches: dict[int, Any] = {}
+        if self._qos is not None:
+            from repro.network.stats import QuantileSketch
+
+            for cls in self._qos.classes:
+                self._queued_by_class[cls.id] = 0
+                self._class_completed[cls.id] = 0
+                self._class_shed[cls.id] = 0
+                self._class_sketches[cls.id] = QuantileSketch()
         #: Installed observability probes (see :meth:`install_probes`);
         #: None keeps the service entirely uninstrumented.
         self.probes = None
@@ -393,7 +433,8 @@ class FabricService:
         request = ServiceRequest(
             seq=self._next_seq, tenant=tenant, op=op, page=int(page),
             offset=int(offset), size=int(size), t_submit=now,
-            req_id=req_id, on_done=on_done,
+            req_id=req_id, tclass=self.class_of_tenant(tenant),
+            on_done=on_done,
         )
         self._next_seq += 1
 
@@ -408,14 +449,25 @@ class FabricService:
         if not self.admitting:
             self._shed(request, now, "draining")
             return request
-        # FIFO fairness: once anything queues, new arrivals go behind it.
-        if self._queue or not self._has_headroom(request):
+        # FIFO fairness: once anything queues, new arrivals go behind
+        # it.  Under QoS the fairness gate is per class — a queued bulk
+        # backlog must not block a latency-class request that still has
+        # headroom under its own (larger) budget.
+        if self._qos is not None:
+            blocked = self._queued_by_class.get(request.tclass, 0) > 0
+        else:
+            blocked = bool(self._queue)
+        if blocked or not self._has_headroom(request):
             if len(self._queue) < self.queue_depth:
                 request.status = "queued"
                 self._queue.append(request)
                 self._pending[request.seq] = request
                 stats.queued += 1
                 self.queued_total += 1
+                if self._qos is not None:
+                    self._queued_by_class[request.tclass] = (
+                        self._queued_by_class.get(request.tclass, 0) + 1
+                    )
                 self._ensure_pump(now)
                 self._ensure_reaper(now)
             else:
@@ -423,6 +475,14 @@ class FabricService:
             return request
         self._inject(request, now)
         return request
+
+    def class_of_tenant(self, tenant: str) -> int:
+        """The traffic class of *tenant* (0 — latency — when unmapped
+        or classless)."""
+        if self._qos is None:
+            return 0
+        cls = int(self.tenant_classes.get(tenant, 0))
+        return cls if 0 <= cls < self._qos.num_classes else 0
 
     def _validate(self, request: ServiceRequest) -> str | None:
         if request.op not in ("read", "write"):
@@ -442,7 +502,15 @@ class FabricService:
         return None
 
     def _has_headroom(self, request: ServiceRequest) -> bool:
-        if self.outstanding >= self.max_outstanding:
+        budget = self.max_outstanding
+        if self._qos is not None:
+            # Class-aware admission: each priority band sees a halved
+            # outstanding budget (p0 full, p1 half, p2 quarter...), so
+            # under overload bulk queues and sheds first while
+            # priority tenants keep admitting.
+            priority = self._qos.class_of(request.tclass).priority
+            budget = max(1, budget >> priority)
+        if self.outstanding >= budget:
             return False
         target = self.directory.resolve(request.page)
         return self.sim.inflight_to(target) < self.node_watermark
@@ -450,6 +518,10 @@ class FabricService:
     def _shed(self, request: ServiceRequest, now: int, reason: str) -> None:
         self.shed_total += 1
         self.tenant(request.tenant).shed += 1
+        if self._qos is not None:
+            self._class_shed[request.tclass] = (
+                self._class_shed.get(request.tclass, 0) + 1
+            )
         self._finish(request, now, "shed", reason, count_shed=False)
 
     def _pick_source(self, tenant: str) -> int | None:
@@ -457,15 +529,20 @@ class FabricService:
 
         The tenant hashes (CRC32 — stable across processes, unlike
         ``hash``) onto a ring position; if that node is gated, crashed,
-        or hung, the next usable ring node takes over.  Deterministic
-        given identical fabric state, which replay guarantees.
+        or hung, the next usable ring node takes over.  The ring is
+        derived from the topology's *current* active set on every pick:
+        a ring frozen at construction kept hashing tenants onto the
+        pre-scale node count, so tenants first seen after an unmount or
+        a scale-up landed on stale positions (and could map onto
+        excised nodes forever).  Deterministic given identical fabric
+        state, which replay guarantees.
         """
-        ring = self._source_ring
+        ring = sorted(self.topology.active_nodes)
+        if not ring:
+            return None
         start = zlib.crc32(tenant.encode()) % len(ring)
         for step in range(len(ring)):
             node = ring[(start + step) % len(ring)]
-            if not self.topology.is_active(node):
-                continue
             if not self.layer.usable_source(node):
                 continue
             if self.live is not None and not self.live.usable(node):
@@ -516,6 +593,7 @@ class FabricService:
                 PacketKind.READ_REQ if request.op == "read"
                 else PacketKind.WRITE_REQ
             ),
+            tclass=request.tclass,
             measured=True,
             context=("svc", request.seq),
         )
@@ -581,6 +659,7 @@ class FabricService:
                 PacketKind.READ_RESP if request.op == "read"
                 else PacketKind.WRITE_ACK
             ),
+            tclass=request.tclass,
             measured=True,
             context=("svc", request.seq),
         )
@@ -595,6 +674,11 @@ class FabricService:
         stats.completed += 1
         request.latency = now - request.t_submit
         stats.record_latency(request.latency)
+        if self._qos is not None:
+            self._class_completed[request.tclass] = (
+                self._class_completed.get(request.tclass, 0) + 1
+            )
+            self._class_sketches[request.tclass].add(request.latency)
         self._finish(request, now, "done")
 
     def _fail(self, request: ServiceRequest, now: int, reason: str) -> None:
@@ -637,13 +721,31 @@ class FabricService:
         self._ensure_pump(now)
 
     def _pump_queue(self, now: int) -> None:
-        """Inject queued requests while headroom lasts (FIFO order)."""
+        """Inject queued requests while headroom lasts (FIFO order).
+
+        Classless: strict FIFO — the head blocks everything behind it.
+        Under QoS the pump scans the whole queue once (FIFO *within*
+        each class): a latency-class request overtakes a bulk backlog
+        that has exhausted its smaller budget, which is the
+        work-conserving counterpart of the per-class admission gate.
+        """
+        if self._qos is None:
+            while self._queue:
+                head = self._queue[0]
+                if not self._has_headroom(head):
+                    break
+                self._queue.popleft()
+                self._inject(head, now)
+            return
+        retained: deque[ServiceRequest] = deque()
         while self._queue:
-            head = self._queue[0]
-            if not self._has_headroom(head):
-                break
-            self._queue.popleft()
-            self._inject(head, now)
+            head = self._queue.popleft()
+            if self._has_headroom(head):
+                self._queued_by_class[head.tclass] -= 1
+                self._inject(head, now)
+            else:
+                retained.append(head)
+        self._queue = retained
 
     def _ensure_reaper(self, now: int) -> None:
         if not self._reaper_scheduled and (self.outstanding or self._queue):
@@ -671,6 +773,9 @@ class FabricService:
                     self._queue.remove(request)
                 except ValueError:
                     pass
+                else:
+                    if self._qos is not None:
+                        self._queued_by_class[request.tclass] -= 1
             self.timeouts += 1
             self.tenant(request.tenant).failed += 1
             self._finish(request, now, "timeout", "request_timeout")
@@ -804,7 +909,10 @@ class FabricService:
         # Anything still queued found no headroom even at quiescence
         # (e.g. every source crashed): shed it so accounting closes.
         while self._queue:
-            self._shed(self._queue.popleft(), self.sim.now, "drain_shed")
+            request = self._queue.popleft()
+            if self._qos is not None:
+                self._queued_by_class[request.tclass] -= 1
+            self._shed(request, self.sim.now, "drain_shed")
         self.admitting = True
         stats = self.sim.stats
         report = {
@@ -866,13 +974,34 @@ class FabricService:
                 "p99": ts.p99(),
             }
         active = [t for t in per_tenant.values() if t["completed"]]
-        return {
+        summary = {
             "p50": merged.percentile(50),
             "p99": merged.percentile(99),
             "p50_max": max((t["p50"] for t in active), default=0.0),
             "p99_max": max((t["p99"] for t in active), default=0.0),
             "per_tenant": per_tenant,
         }
+        if self._qos is not None:
+            summary["per_class"] = self.class_summary()
+        return summary
+
+    def class_summary(self) -> dict[str, dict[str, float]]:
+        """Per-traffic-class SLO block (empty when classless)."""
+        if self._qos is None:
+            return {}
+        out: dict[str, dict[str, float]] = {}
+        for cls in self._qos.classes:
+            sketch = self._class_sketches[cls.id]
+            out[cls.name] = {
+                "class_id": cls.id,
+                "priority": cls.priority,
+                "completed": self._class_completed.get(cls.id, 0),
+                "shed": self._class_shed.get(cls.id, 0),
+                "queued": self._queued_by_class.get(cls.id, 0),
+                "p50": sketch.percentile(50),
+                "p99": sketch.percentile(99),
+            }
+        return out
 
     def install_probes(self, probes=None):
         """Attach observability probes across the whole service stack.
@@ -900,7 +1029,7 @@ class FabricService:
     def snapshot(self) -> dict[str, Any]:
         """JSON-safe state summary (the ``stats`` verb's response)."""
         stats = self.sim.stats
-        return {
+        snap: dict[str, Any] = {
             "ok": True,
             "now": self.sim.now,
             "nodes": self.topology.num_nodes,
@@ -927,6 +1056,12 @@ class FabricService:
                 name: ts.to_dict() for name, ts in sorted(self.tenants.items())
             },
         }
+        if self._qos is not None:
+            snap["qos"] = {
+                "classes": self.class_summary(),
+                "tenant_classes": dict(self.tenant_classes),
+            }
+        return snap
 
     def digest(self) -> dict[str, Any]:
         """Determinism fingerprint: equal digests mean bit-identical runs.
@@ -941,7 +1076,7 @@ class FabricService:
         for seq, status, latency in self.completions:
             h.update(f"{seq}:{status}:{latency}\n".encode())
         stats = self.sim.stats
-        return {
+        out = {
             "completions": h.hexdigest(),
             "requests": len(self.completions),
             "sent": stats.sent,
@@ -958,3 +1093,15 @@ class FabricService:
                 for name, ts in sorted(self.tenants.items())
             },
         }
+        if self._qos is not None:
+            # Classless digests stay byte-identical: the key only
+            # exists when a class table is installed.
+            out["classes"] = {
+                cls.name: (
+                    self._class_completed.get(cls.id, 0),
+                    self._class_sketches[cls.id].percentile(50),
+                    self._class_sketches[cls.id].percentile(99),
+                )
+                for cls in self._qos.classes
+            }
+        return out

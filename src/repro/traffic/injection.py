@@ -46,6 +46,10 @@ class BernoulliInjector:
     sources:
         Restrict injecting nodes (default: every active node —
         "similar to attaching a processor to each memory node").
+    tclass:
+        Traffic class id stamped on every injected packet (row of the
+        simulator's installed QoS table; 0 — the default class — when
+        the run is classless).
     """
 
     def __init__(
@@ -59,6 +63,7 @@ class BernoulliInjector:
         payload_bytes: int = 64,
         seed: int | None = 0,
         sources: list[int] | None = None,
+        tclass: int = 0,
     ) -> None:
         if not 0.0 < rate <= 1.0:
             raise ValueError(f"rate must be in (0, 1], got {rate}")
@@ -70,6 +75,7 @@ class BernoulliInjector:
         self.cooldown = cooldown
         self.payload_bytes = payload_bytes
         self.seed = seed
+        self.tclass = tclass
         self.sources = (
             list(sim.topology.active_nodes) if sources is None else list(sources)
         )
@@ -104,6 +110,7 @@ class BernoulliInjector:
                 size_flits=self._size_flits,
                 payload_bytes=self.payload_bytes,
                 kind=PacketKind.DATA,
+                tclass=self.tclass,
                 measured=measured,
             )
             self.sim.send(packet, current_time)

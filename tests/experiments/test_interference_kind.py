@@ -1,0 +1,65 @@
+"""The ``interference`` experiment kind: expansion, determinism, report."""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentSpec, ParallelRunner
+from repro.experiments.report import sweep_table
+
+SPEC = ExperimentSpec(
+    name="interference-det",
+    kind="interference",
+    designs=("SF", "DM"),
+    nodes=(36,),
+    patterns=("uniform_random",),
+    rates=(0.1, 0.35),
+    seeds=(0,),
+    topology_seed=1,
+    sim_params={"warmup": 200, "measure": 600, "drain_limit": 60_000,
+                "mode": "burst"},
+)
+
+
+def test_grid_expansion_covers_axes():
+    tasks = SPEC.tasks()
+    assert len(tasks) == 4
+    assert {t.design for t in tasks} == {"SF", "DM"}
+    assert {t.rate for t in tasks} == {0.1, 0.35}
+
+
+def test_serial_and_parallel_payloads_identical():
+    """Satellite 3: a 4-worker interference sweep is bit-identical to
+    the serial run — the QoS arbiter state is task-local."""
+    serial = ParallelRunner(workers=1).run(SPEC)
+    parallel = ParallelRunner(workers=4).run(SPEC)
+    assert [t.key() for t in serial.tasks] == [t.key() for t in parallel.tasks]
+    for task, payload in serial:
+        assert parallel.payload(task) == payload, task.label()
+
+
+def test_payload_and_report_surface_per_class_columns():
+    result = ParallelRunner(workers=1).run(SPEC)
+    for _task, payload in result:
+        assert payload["conserved"] and payload["drained"]
+        for key in ("fg_p50", "fg_p99", "bulk_p50", "bulk_p99",
+                    "p99_ratio", "mode", "qos", "radix"):
+            assert key in payload
+    table = sweep_table(result)
+    assert "fg_p99" in table and "bulk_p99" in table
+
+
+def test_classless_variant_rides_sim_params():
+    spec = ExperimentSpec(
+        name="interference-raw",
+        kind="interference",
+        designs=("SF",),
+        nodes=(36,),
+        patterns=("uniform_random",),
+        rates=(0.1,),
+        seeds=(0,),
+        topology_seed=1,
+        sim_params={"warmup": 200, "measure": 400, "mode": "noise",
+                    "qos": False},
+    )
+    result = ParallelRunner(workers=1).run(spec)
+    (_task, payload), = list(result)
+    assert payload["qos"] is False

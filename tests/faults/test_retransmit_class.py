@@ -1,0 +1,70 @@
+"""Retransmit clones and traffic classes: inheritance and override."""
+
+from __future__ import annotations
+
+from repro.faults.layer import FaultLayer
+from repro.network.packet import Packet
+from repro.network.qos import BACKGROUND_CLASS, QoSConfig
+from repro.network.simulator import NetworkSimulator
+from repro.topologies.registry import make_policy, make_topology
+
+
+def _sim(qos: bool = True) -> NetworkSimulator:
+    topo = make_topology("SF", 16, seed=1)
+    sim = NetworkSimulator(topo, make_policy(topo, adaptive=True))
+    if qos:
+        sim.install_qos(QoSConfig.default())
+    return sim
+
+
+def _capture_retransmit(layer: FaultLayer, packet: Packet) -> Packet:
+    """Schedule one retransmit and return the clone the layer sends."""
+    sim = layer.sim
+    clones: list[Packet] = []
+    original_send = sim.send
+
+    def recording_send(p, time=None):
+        clones.append(p)
+        return original_send(p, time)
+
+    sim.send = recording_send
+    try:
+        layer._schedule_retransmit(packet, first=0, attempts=0)
+        sim.run(until=sim.now + layer.retransmit_timeout + 1)
+    finally:
+        sim.send = original_send
+    assert len(clones) == 1
+    return clones[0]
+
+
+def test_clone_inherits_original_class_by_default():
+    sim = _sim()
+    layer = FaultLayer(sim)
+    assert layer.retransmit_class is None
+    packet = Packet(src=0, dst=5, tclass=1)
+    clone = _capture_retransmit(layer, packet)
+    assert clone.tclass == 1
+    assert clone.pid != packet.pid
+
+
+def test_retransmit_class_override_tags_clones_background():
+    """Satellite 2: a layer constructed with the background override
+    (as the QoS service does) rate-shapes retry storms below
+    foreground traffic regardless of the lost packet's class."""
+    sim = _sim()
+    layer = FaultLayer(sim, retransmit_class=BACKGROUND_CLASS)
+    packet = Packet(src=0, dst=5, tclass=0)
+    clone = _capture_retransmit(layer, packet)
+    assert clone.tclass == BACKGROUND_CLASS
+
+
+def test_override_is_inert_without_qos_table():
+    """Classless sims may still set the override; the tag rides along
+    without consulting any table (carried-but-unused invariant)."""
+    sim = _sim(qos=False)
+    layer = FaultLayer(sim, retransmit_class=BACKGROUND_CLASS)
+    packet = Packet(src=0, dst=5)
+    clone = _capture_retransmit(layer, packet)
+    assert clone.tclass == BACKGROUND_CLASS
+    sim.run(until=sim.now + 200_000)
+    assert sim.stats.in_flight == 0
