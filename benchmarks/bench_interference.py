@@ -3,7 +3,7 @@
 Sweeps the offered interference load (noise / burst / incast tenants)
 against a fixed latency-critical foreground on SF, DM and Jellyfish,
 with the default QoS class table installed and again classless, and
-writes the per-class p50/p99 curves to
+appends the per-class p50/p99 curves as one labeled run to
 ``benchmarks/results/interference.json``.  The headline of the PR-9
 acceptance criteria is read straight off the table: under QoS the
 latency class's p99 stays near its zero-load level while bulk's p99
@@ -14,14 +14,20 @@ Usage::
     python benchmarks/bench_interference.py            # full grid
     python benchmarks/bench_interference.py --quick    # CI smoke scale
 
-Runs serially with the result cache disabled, like every benchmark —
-the point is a reproducible figure, not a timing.
+Runs serially with the result cache disabled, like every benchmark.
+The simulated curves are machine-independent (any drift between runs
+is a code change), but each run also records its wall time and the
+machine-speed canary, and the trajectory comparison prints the
+canary-normalized sweep-time delta — the same regression view the
+sim/service throughput benches give.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
+import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -61,9 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--designs", default=",".join(DESIGNS),
         help="comma-separated topology names",
     )
+    parser.add_argument("--label", default=None,
+                        help="run label in the trajectory (default: scale)")
     parser.add_argument("--out", default=None, metavar="FILE",
-                        help="results JSON (default: interference.json, or "
-                             "interference_quick.json with --quick)")
+                        help="trajectory JSON (default: interference.json, "
+                             "or interference_quick.json with --quick)")
     return parser
 
 
@@ -130,21 +138,109 @@ def isolation_summary(points) -> None:
               f"classless fg_p99 {raw:7.0f} cyc")
 
 
+def load_trajectory(path: Path, config: dict) -> dict:
+    """Load the recorded trajectory, migrating the pre-trajectory flat
+    schema ({config, results}) into a single prior run so history is
+    kept and the comparison below still has a baseline."""
+    if not path.exists():
+        return {"config": config, "runs": []}
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SystemExit(
+            f"{path} exists but is not valid JSON ({exc}); refusing to "
+            "overwrite the recorded trajectory — fix or delete it first"
+        )
+    if "runs" not in data:
+        data = {
+            "config": data.get("config", config),
+            "runs": [{
+                "label": "pre-trajectory",
+                "results": data.get("results", []),
+            }],
+        }
+    return data
+
+
+def compare(previous: dict, current: dict) -> None:
+    """Drift vs the previous recorded run.
+
+    Simulated p99s must not move unless the code changed — any nonzero
+    delta here is a behaviour change, never host noise.  Wall time is
+    host-dependent, so its delta is printed canary-normalized (the
+    convention of the sim/service throughput benches).
+    """
+    by_key = {
+        (p["design"], p["nodes"], p["mode"], p["qos"], p["rate"]): p
+        for p in previous.get("results", []) if "fg_p99" in p
+    }
+    drifted = 0
+    matched = 0
+    for point in current["results"]:
+        if "fg_p99" not in point:
+            continue
+        old = by_key.get(
+            (point["design"], point["nodes"], point["mode"],
+             point["qos"], point["rate"]))
+        if old is None:
+            continue
+        matched += 1
+        if (old["fg_p99"], old["bulk_p99"]) != (
+                point["fg_p99"], point["bulk_p99"]):
+            drifted += 1
+            print(f"  DRIFT {point['design']} N={point['nodes']} "
+                  f"{point['mode']} qos={point['qos']} rate={point['rate']}: "
+                  f"fg_p99 {old['fg_p99']} -> {point['fg_p99']}, "
+                  f"bulk_p99 {old['bulk_p99']} -> {point['bulk_p99']}")
+    if matched:
+        print(f"\nvs previous recorded run: {matched} comparable points, "
+              f"{drifted} drifted")
+    old_wall = previous.get("elapsed_s")
+    new_wall = current.get("elapsed_s")
+    old_canary = previous.get("canary_kops")
+    new_canary = current.get("canary_kops")
+    if old_wall and new_wall:
+        ratio = new_wall / old_wall
+        if old_canary and new_canary:
+            norm = f"{ratio * new_canary / old_canary:.2f}x"
+        else:
+            norm = "-"
+        print(f"  sweep wall time {old_wall:.1f}s -> {new_wall:.1f}s "
+              f"({ratio:.2f}x raw, {norm} canary-normalized)")
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     designs = [d.strip() for d in args.designs.split(",") if d.strip()]
     grid = QUICK if args.quick else FULL
-    points = measure(designs, grid)
-    isolation_summary(points)
     out = Path(args.out) if args.out else (QUICK_OUT if args.quick else DEFAULT_OUT)
+
+    from repro.obs.canary import run_canary
+
+    config = {**CONFIG, **grid}
+    trajectory = load_trajectory(out, config)  # fail early on corruption
+    canary = run_canary()
+    print(f"canary: {canary['kops']:,.0f} kops/s (machine-speed baseline)")
+    start = time.perf_counter()
+    points = measure(designs, grid)
+    elapsed = time.perf_counter() - start
+    isolation_summary(points)
+    run_entry = {
+        "label": args.label or ("quick" if args.quick else "full"),
+        "scale": "quick" if args.quick else "full",
+        "elapsed_s": round(elapsed, 1),
+        "canary_kops": round(canary["kops"], 1),
+        "results": points,
+    }
+    if trajectory["runs"]:
+        compare(trajectory["runs"][-1], run_entry)
+    trajectory["runs"].append(run_entry)
     out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(
-        {"config": {**CONFIG, **grid}, "results": points},
-        indent=2, sort_keys=True,
-    ))
-    print(f"\nresults: {out}")
+    out.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    print(f"\ntrajectory: {out} ({len(trajectory['runs'])} recorded runs, "
+          f"this one took {elapsed:.1f}s)")
     return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    sys.exit(main())

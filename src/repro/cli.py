@@ -384,7 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--kind", default="synthetic",
         choices=("synthetic", "churn", "migration", "faults", "service",
-                 "perf", "interference"),
+                 "perf", "interference", "anatomy"),
         help="experiment kind to run under probes",
     )
     trace.add_argument("--design", default="SF")
@@ -417,6 +417,55 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--out-dir", default="trace-out", metavar="DIR",
         help="artifact directory (created if missing)",
+    )
+    trace.add_argument(
+        "--no-anatomy", action="store_true",
+        help="skip the per-packet delay decomposition (and its "
+             "anatomy.json / per-link CSV artifacts)",
+    )
+
+    hot = sub.add_parser(
+        "hotspots",
+        help="one contended scenario under the latency anatomy: "
+             "per-component delay, top contended links, class "
+             "interference matrix (docs/LATENCY.md)",
+    )
+    hot.add_argument("--design", default="SF")
+    hot.add_argument("--nodes", type=int, default=64)
+    hot.add_argument("--ports", type=int, default=None)
+    hot.add_argument(
+        "--mode", default="incast", choices=("noise", "burst", "incast"),
+        help="interference shape aimed at the fabric",
+    )
+    hot.add_argument(
+        "--rate", type=float, default=0.3,
+        help="offered interference load per interfering node",
+    )
+    hot.add_argument(
+        "--fg-rate", type=float, default=0.05,
+        help="latency-critical foreground injection rate",
+    )
+    hot.add_argument(
+        "--no-qos", action="store_true",
+        help="classless run (no class table; every wait is queueing)",
+    )
+    hot.add_argument("--pattern", default="uniform_random")
+    hot.add_argument("--seed", type=int, default=0)
+    hot.add_argument("--topology-seed", type=int, default=0)
+    hot.add_argument("--warmup", type=int, default=300)
+    hot.add_argument("--measure", type=int, default=2000)
+    hot.add_argument("--drain-limit", type=int, default=60_000)
+    hot.add_argument(
+        "--top", type=int, default=8,
+        help="top-K contended links/routers shown",
+    )
+    hot.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also dump the full anatomy summary as JSON",
+    )
+    hot.add_argument(
+        "--links-csv", default=None, metavar="FILE",
+        help="also dump every per-link contention row as CSV",
     )
 
     serve = sub.add_parser(
@@ -477,6 +526,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="map a tenant to a class id (repeatable; unmapped tenants "
              "ride class 0, the latency class); implies nothing "
              "without --qos",
+    )
+    serve.add_argument(
+        "--slow-log", type=int, default=None, metavar="CYCLES",
+        help="log completed requests at/above this end-to-end latency: "
+             "one JSON line per request on stderr with the full delay "
+             "breakdown (admission/network components/dram); also "
+             "installs probes+anatomy at boot and exposes the recent "
+             "ring via the stats verb",
+    )
+    serve.add_argument(
+        "--slow-log-size", type=int, default=256,
+        help="bounded ring: recent slow-request records kept in memory",
     )
     serve.add_argument(
         "--selftest", action="store_true",
@@ -1111,6 +1172,7 @@ def _cmd_trace(args) -> int:
         seed=args.trace_seed,
         ring_size=args.ring,
         max_records=args.max_trace_records,
+        anatomy=not args.no_anatomy,
     )
     attached: dict[str, object] = {}
 
@@ -1137,6 +1199,7 @@ def _cmd_trace(args) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
     base = re.sub(r"[^A-Za-z0-9._-]+", "-", task.label()).strip("-")
     recorder, tracer, registry = probes.recorder, probes.tracer, probes.registry
+    anatomy = probes.anatomy
     artifacts = {
         "timeseries": out_dir / f"{base}.timeseries.jsonl",
         "chrome trace": out_dir / f"{base}.trace.json",
@@ -1145,6 +1208,9 @@ def _cmd_trace(args) -> int:
         "prometheus": out_dir / f"{base}.metrics.prom",
         "summary": out_dir / f"{base}.summary.json",
     }
+    if anatomy is not None:
+        artifacts["anatomy json"] = out_dir / f"{base}.anatomy.json"
+        artifacts["links csv"] = out_dir / f"{base}.links.csv"
     recorder.write_jsonl(artifacts["timeseries"])
     tracer.write_chrome(artifacts["chrome trace"])
     tracer.write_jsonl(artifacts["trace jsonl"])
@@ -1152,7 +1218,16 @@ def _cmd_trace(args) -> int:
         json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n"
     )
     artifacts["prometheus"].write_text(registry.to_prometheus())
+    if anatomy is not None:
+        artifacts["anatomy json"].write_text(json.dumps(
+            anatomy.summary(), indent=2, sort_keys=True,
+        ) + "\n")
+        artifacts["links csv"].write_text(anatomy.hotspots.links_csv())
     obs = probes.summary()
+    if anatomy is not None:
+        # The flat obs_ fields ride in the persisted payload too, so
+        # sweep reports and artifact consumers see the same columns.
+        payload = {**payload, **anatomy.payload()}
     artifacts["summary"].write_text(json.dumps(
         {"task": task.to_dict(), "payload": payload, "obs": obs},
         indent=2, sort_keys=True, default=str,
@@ -1167,6 +1242,15 @@ def _cmd_trace(args) -> int:
     print(f"  trace records:     {obs.get('trace_records', 0)} "
           f"({obs.get('trace_dropped', 0)} dropped), "
           f"ring {len(tracer.ring)} events")
+    if anatomy is not None:
+        totals = anatomy.component_totals()
+        grand = sum(totals.values())
+        stack = " ".join(
+            f"{name}={cycles / grand:.1%}" if grand else f"{name}=0"
+            for name, cycles in totals.items() if cycles
+        )
+        print(f"  latency anatomy:   {anatomy.delivered} packets "
+              f"decomposed; {stack or 'no delivered packets'}")
     for name, path in artifacts.items():
         print(f"  {name:16s} -> {path}")
 
@@ -1204,6 +1288,122 @@ def _cmd_trace(args) -> int:
         return 1
     print(f"  reconciliation:    ok ({len(finals)} counters: timeseries "
           "sums == final totals)")
+
+    # Second acceptance invariant: every delivered packet's component
+    # sum must equal its measured end-to-end latency exactly.
+    if anatomy is not None:
+        if not anatomy.conserved():
+            print(f"  CONSERVATION FAILED: "
+                  f"{anatomy.conservation_violations} packets' component "
+                  f"sums != end-to-end latency")
+            for example in anatomy.violation_examples[:3]:
+                print(f"    {example}")
+            return 1
+        print(f"  conservation:      ok ({anatomy.delivered} packets: "
+              "component sums == end-to-end latency)")
+    return 0
+
+
+def _cmd_hotspots(args) -> int:
+    """Run one contended scenario under the anatomy; print the views."""
+    import json
+
+    from repro.experiments.report import render_table
+    from repro.topologies.registry import make_topology
+    from repro.workloads.interference import run_interference
+
+    try:
+        topology = make_topology(
+            args.design, args.nodes, seed=args.topology_seed,
+            ports=args.ports,
+        )
+    except ValueError as exc:
+        print(f"cannot build {args.design} at N={args.nodes}: {exc}")
+        return 1
+    result = run_interference(
+        topology,
+        mode=args.mode,
+        rate=args.rate,
+        fg_rate=args.fg_rate,
+        pattern=args.pattern,
+        qos=not args.no_qos,
+        warmup=args.warmup,
+        measure=args.measure,
+        drain_limit=args.drain_limit,
+        seed=args.seed,
+        anatomy=True,
+    )
+    anatomy = result.anatomy
+    hotspots = anatomy.hotspots
+
+    qos_label = "classless" if args.no_qos else "QoS"
+    print(f"{args.design} N={args.nodes} {args.mode} rate={args.rate:g} "
+          f"fg={args.fg_rate:g} ({qos_label}) — "
+          f"{anatomy.delivered} packets decomposed @ cycle {result.run_end}")
+
+    print("\nper-class delay anatomy (cycles):")
+    from repro.obs.anatomy import COMPONENTS
+
+    rows = []
+    for label, row in anatomy.class_breakdown().items():
+        comps = row["components"]
+        rows.append(
+            [label, row["delivered"], f"{row['latency_mean']:.1f}"]
+            + [comps[name] for name in COMPONENTS]
+        )
+    print(render_table(
+        ["class", "delivered", "mean_lat", *COMPONENTS], rows,
+    ))
+
+    print(f"\ntop {args.top} contended links (by blocked cycles):")
+    rows = []
+    for entry in hotspots.top_links(args.top):
+        row = entry.to_dict()
+        rows.append([
+            f"{entry.u}->{entry.v}", row["enqueues"], row["wait_cycles"],
+            f"{row['wait_p50']:.0f}", f"{row['wait_p99']:.0f}",
+            f"{row['occupancy_p99']:.0f}",
+        ])
+    print(render_table(
+        ["link", "enqueues", "wait_cyc", "wait_p50", "wait_p99", "occ_p99"],
+        rows,
+    ))
+
+    print(f"\ntop {args.top} contended routers (outgoing links summed):")
+    rows = [
+        [r["router"], r["links"], r["dequeues"], r["wait_cycles"]]
+        for r in hotspots.router_rollup(args.top)
+    ]
+    print(render_table(["router", "links", "dequeues", "wait_cyc"], rows))
+
+    matrix = hotspots.matrix_table(anatomy.class_names)
+    if matrix:
+        print("\nclass-on-class interference (blocked-class rows, cycles "
+              "spent behind the column class):")
+        cols = sorted({j for row in matrix.values() for j in row})
+        rows = [
+            [blocked] + [row.get(j, 0) for j in cols]
+            for blocked, row in matrix.items()
+        ]
+        print(render_table(["blocked\\behind", *cols], rows))
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(anatomy.summary(top_k=args.top), fh,
+                      indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nanatomy summary -> {args.output}")
+    if args.links_csv:
+        with open(args.links_csv, "w") as fh:
+            fh.write(hotspots.links_csv())
+        print(f"per-link CSV -> {args.links_csv}")
+
+    if not anatomy.conserved():
+        print(f"\nCONSERVATION FAILED: {anatomy.conservation_violations} "
+              "packets' component sums != end-to-end latency")
+        return 1
+    print(f"\nconservation: ok ({anatomy.delivered} packets, "
+          f"drained={result.drained})")
     return 0
 
 
@@ -1272,13 +1472,22 @@ def _cmd_serve(args) -> int:
         node_watermark=args.node_watermark,
         qos=args.qos,
         tenant_classes=tenant_classes,
+        slow_log_threshold=args.slow_log,
+        slow_log_size=args.slow_log_size,
     )
-    if args.metrics:
+    if args.metrics or args.slow_log is not None:
+        # --slow-log needs the anatomy installed from the first request
+        # so every record carries its network component breakdown.
         service.install_probes()
 
     async def _serve() -> None:
+        import sys
+
         daemon = FabricDaemon(
-            service, host=args.host, port=args.port, quantum=args.quantum
+            service, host=args.host, port=args.port, quantum=args.quantum,
+            slow_log_stream=(
+                sys.stderr if args.slow_log is not None else None
+            ),
         )
         host, port = await daemon.start()
         print(f"fabric daemon: {args.design} N={args.nodes} resident on "
@@ -1314,6 +1523,7 @@ _COMMANDS = {
     "interference": _cmd_interference,
     "perf": _cmd_perf,
     "trace": _cmd_trace,
+    "hotspots": _cmd_hotspots,
     "serve": _cmd_serve,
 }
 

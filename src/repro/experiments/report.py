@@ -152,6 +152,24 @@ def _kind_row(task: ExperimentTask, payload: dict[str, Any]) -> list[str]:
                 )
             ),
         ]
+    if task.kind == "anatomy":
+        # The per-component fractions / hot links / interference cells
+        # ride in as ``obs_``-prefixed auto-columns.
+        return [
+            task.design, task.nodes, f"{task.rate:g}", task.seed,
+            _fmt(None if unsupported else payload.get("mode")),
+            _fmt(None if unsupported else payload.get("qos")),
+            _fmt(None if unsupported else payload.get("fg_p99"), ".0f"),
+            _fmt(None if unsupported else payload.get("bulk_p99"), ".0f"),
+            _fmt(None if unsupported else payload.get("p99_ratio"), ".1f"),
+            _fmt(
+                None if unsupported
+                else (
+                    bool(payload.get("conserved"))
+                    and bool(payload.get("drained"))
+                )
+            ),
+        ]
     if task.kind == "perf":
         return [
             task.design, task.nodes, task.pattern, f"{task.rate:g}", task.seed,
@@ -194,6 +212,8 @@ _HEADERS = {
     "interference": ["design", "N", "rate", "seed", "mode", "qos",
                      "fg_p50", "fg_p99", "bulk_p50", "bulk_p99",
                      "p99_ratio", "recov", "conserved"],
+    "anatomy": ["design", "N", "rate", "seed", "mode", "qos",
+                "fg_p99", "bulk_p99", "p99_ratio", "conserved"],
 }
 
 

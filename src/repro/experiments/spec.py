@@ -57,6 +57,15 @@ Four task kinds cover the benchmark harness:
     ``rates`` axis is per-tenant requests/cycle.  Grid axes match
     ``synthetic`` (the ``patterns`` axis is accepted but unused — the
     page stream is uniform over the footprint).
+``anatomy``
+    One interference point run with the
+    :class:`repro.obs.anatomy.LatencyAnatomy` delay decomposition
+    installed: the payload adds per-component latency fractions, the
+    hottest contended links, and the class-on-class interference
+    cells (all ``obs_``-prefixed, so sweep reports pick them up
+    automatically).  Same grid axes and ``sim_params`` as
+    ``interference``; the conservation law is checked on every
+    delivered packet and surfaced as ``obs_anatomy_conserved``.
 ``perf``
     One simulator-throughput measurement: a synthetic run whose
     payload reports events processed, wall-clock seconds and
@@ -82,7 +91,7 @@ __all__ = ["TASK_KINDS", "ExperimentSpec", "ExperimentTask", "freeze_params"]
 
 TASK_KINDS = (
     "synthetic", "saturation", "workload", "path_stats", "churn", "migration",
-    "faults", "perf", "service", "interference",
+    "faults", "perf", "service", "interference", "anatomy",
 )
 
 #: Bump when task semantics change so stale cache entries are ignored.
@@ -240,7 +249,7 @@ class ExperimentSpec:
         if (
             self.kind in (
                 "synthetic", "churn", "migration", "faults", "perf",
-                "service", "interference",
+                "service", "interference", "anatomy",
             )
             and not self.rates
         ):
@@ -251,7 +260,7 @@ class ExperimentSpec:
         if (
             self.kind in (
                 "synthetic", "saturation", "churn", "migration", "faults",
-                "perf", "service", "interference",
+                "perf", "service", "interference", "anatomy",
             )
             and not self.patterns
         ):
@@ -279,7 +288,7 @@ class ExperimentSpec:
         out: list[ExperimentTask] = []
         if self.kind in (
             "synthetic", "churn", "migration", "faults", "perf", "service",
-            "interference",
+            "interference", "anatomy",
         ):
             for design in self.designs:
                 for n in self.nodes:

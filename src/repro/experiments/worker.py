@@ -539,7 +539,9 @@ def _run_service(task: ExperimentTask, instrument=None) -> dict[str, Any]:
     return result.payload()
 
 
-def _run_interference(task: ExperimentTask, instrument=None) -> dict[str, Any]:
+def _run_interference(
+    task: ExperimentTask, instrument=None, anatomy: bool = False,
+) -> dict[str, Any]:
     """One multi-tenant interference point: foreground vs interferer.
 
     The task ``rate`` is the *interference* offered load (the swept
@@ -580,10 +582,25 @@ def _run_interference(task: ExperimentTask, instrument=None) -> dict[str, Any]:
         incast_degree=task.sim("incast_degree", 16),
         incast_period=task.sim("incast_period", 64),
         instrument=instrument,
+        anatomy=anatomy,
     )
     payload = result.payload()
     payload["radix"] = _radix_of(topo)
     return payload
+
+
+def _run_anatomy(task: ExperimentTask, instrument=None) -> dict[str, Any]:
+    """One interference point with the latency anatomy installed.
+
+    Identical grid/knobs to ``interference``; the payload additionally
+    carries the ``obs_``-prefixed delay-decomposition fractions, the
+    hottest contended links, and the class-on-class interference cells
+    (all from :meth:`repro.obs.anatomy.LatencyAnatomy.payload`).  The
+    anatomy hooks make the run slightly slower but the simulated
+    results — and therefore the cache identity — are bit-identical to
+    the uninstrumented point.
+    """
+    return _run_interference(task, instrument, anatomy=True)
 
 
 _RUNNERS = {
@@ -597,4 +614,5 @@ _RUNNERS = {
     "perf": _run_perf,
     "service": _run_service,
     "interference": _run_interference,
+    "anatomy": _run_anatomy,
 }

@@ -62,6 +62,11 @@ class Packet:
     arrive_time: int | None = None
     route_state: RouteState | None = None
     context: Any = None
+    #: Observability cache: the latency anatomy parks this packet's
+    #: component accumulators here (set at inject, cleared at
+    #: deliver/drop) so its per-hook lookup is one attribute load.
+    #: The simulator itself never reads it.
+    obs_state: Any = None
 
     @property
     def latency(self) -> int:

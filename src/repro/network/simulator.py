@@ -98,7 +98,7 @@ class _OutPort:
                  "stall_armed", "reserve_debt", "stall_failures", "lat",
                  "cap", "saved_channels", "drop_pids", "cls_credits",
                  "cls_cap", "shared_credits", "cls_count", "cls_rr",
-                 "deficit", "band_pos", "cls_debt")
+                 "deficit", "band_pos", "cls_debt", "obs_wire")
 
     def __init__(self, u: int, v: int, num_vcs: int, channels: int,
                  credits_per_vc: int, lat: int, cap: int) -> None:
@@ -151,6 +151,11 @@ class _OutPort:
         # so one class's deadlock recovery can never silently drain
         # another class's credit reservation.
         self.cls_debt: list[int] | None = None
+        # Observability cache: the latency anatomy parks its per-wire
+        # state here (owner-checked) so its three per-hop hooks do a
+        # single slot load instead of an id()-keyed dict lookup.  The
+        # simulator itself never reads it.
+        self.obs_wire = None
 
     def occupancy(self) -> int:
         """Packets currently buffered across all VCs of this port."""
@@ -797,6 +802,7 @@ class NetworkSimulator:
         traffic[nxt] += 1
         if probes is not None:
             probes.on_enqueue(node, nxt, packet, port, now)
+            probes.on_queue_join(port, packet, now + rc, now)
         if was_empty and rc and port.channels == 1:
             # Dominant case inlined: the packet just queued on an empty
             # single-channel port and cannot be ready before
@@ -875,6 +881,7 @@ class NetworkSimulator:
         queues = port.queues
         credits = port.credits
         num_vcs = len(queues)
+        probes = self._probes
         heap = self._heap
         heappush = heapq.heappush
         eager = self._eager
@@ -983,11 +990,12 @@ class NetworkSimulator:
                         now + self.config.deadlock_timeout_cycles,
                         _STALL, port, None,
                     )
-                    probes = self._probes
                     if probes is not None:
                         probes.on_credit_stall(port, now)
                 return
             _ready, packet, from_link = queues[chosen_vc].popleft()
+            if probes is not None:
+                probes.on_dequeue(port, packet, _ready, now)
             port.count -= 1
             port.rr = chosen_vc + 1 if chosen_vc + 1 < num_vcs else 0
             credits[chosen_vc] -= 1
@@ -1036,7 +1044,6 @@ class NetworkSimulator:
             seq = self._seq + 1
             self._seq = seq
             heappush(heap, (tail + port.lat, seq, _ARRIVE, v, (packet, port, False)))
-            probes = self._probes
             if probes is not None:
                 probes.on_send(port, packet, now, tail)
 
@@ -1076,6 +1083,7 @@ class NetworkSimulator:
         band_of = self._qos_band_of
         weights = self._qos_weights
         quantum = self._qos_quantum
+        probes = self._probes
         heap = self._heap
         heappush = heapq.heappush
         eager = self._eager
@@ -1192,12 +1200,13 @@ class NetworkSimulator:
                         now + self.config.deadlock_timeout_cycles,
                         _STALL, port, None,
                     )
-                    probes = self._probes
                     if probes is not None:
                         probes.on_credit_stall(port, now)
                 return
             flat = chosen_cls * num_vcs + chosen_vc
             _ready, packet, from_link = queues[flat].popleft()
+            if probes is not None:
+                probes.on_qos_dequeue(port, packet, _ready, now)
             port.count -= 1
             port.cls_count[chosen_cls] -= 1
             cls_rr[chosen_cls] = (
@@ -1250,7 +1259,6 @@ class NetworkSimulator:
             heappush(
                 heap, (tail + port.lat, seq, _ARRIVE, v, (packet, port, False))
             )
-            probes = self._probes
             if probes is not None:
                 probes.on_send(port, packet, now, tail)
 

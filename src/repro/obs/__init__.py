@@ -23,16 +23,25 @@ Layout:
   pieces above into the whole stack.
 * :mod:`repro.obs.canary` — fixed pure-python microbenchmark used to
   normalize recorded performance numbers across hosts.
+* :mod:`repro.obs.anatomy` — per-packet delay decomposition with an
+  exact conservation law (component sums == end-to-end latency).
+* :mod:`repro.obs.hotspots` — per-link/per-router contention views and
+  the class-on-class interference matrix the anatomy feeds.
 """
 
+from repro.obs.anatomy import COMPONENTS, LatencyAnatomy
 from repro.obs.canary import run_canary
+from repro.obs.hotspots import HotspotAggregator
 from repro.obs.probes import FabricProbes
 from repro.obs.registry import MetricsRegistry
 from repro.obs.timeseries import TimeSeriesRecorder
 from repro.obs.tracer import PacketTracer
 
 __all__ = [
+    "COMPONENTS",
     "FabricProbes",
+    "HotspotAggregator",
+    "LatencyAnatomy",
     "MetricsRegistry",
     "PacketTracer",
     "TimeSeriesRecorder",

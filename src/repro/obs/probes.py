@@ -12,7 +12,11 @@ callback surface the simulator hot paths invoke behind their single
   compare);
 * ``on_inject`` / ``on_arrive`` / ``on_enqueue`` / ``on_send`` /
   ``on_deliver`` / ``on_drop`` / ``on_credit_stall`` — packet
-  lifecycle points.
+  lifecycle points;
+* ``on_queue_join`` / ``on_dequeue`` / ``on_qos_dequeue`` — the
+  queue-residency endpoints (and the QoS arbiter's pick), consumed by
+  the optional :class:`~repro.obs.anatomy.LatencyAnatomy` delay
+  decomposition behind one more ``is None`` test.
 
 Everything else is **pull**: counters the layers already keep (fault
 drops, in-flight pages, tenant sketches) are registered as probes or
@@ -56,6 +60,10 @@ class FabricProbes:
         #: Global and per-directed-link output-queue high-water (packets).
         self.occupancy_highwater = 0
         self.link_highwater: dict[tuple[int, int], int] = {}
+        #: Installed :class:`~repro.obs.anatomy.LatencyAnatomy` (None =
+        #: no delay decomposition; the extra hooks cost one test each).
+        #: Assigning rebinds the queue hooks — see the property below.
+        self._anatomy = None
         self._sim = None
 
     @classmethod
@@ -66,10 +74,12 @@ class FabricProbes:
         seed: int = 0,
         ring_size: int = 256,
         max_records: int = 250_000,
+        anatomy: bool = True,
     ) -> "FabricProbes":
-        """Probes with timeseries and tracing enabled (the CLI default)."""
+        """Probes with timeseries, tracing, and (by default) the latency
+        anatomy enabled — the CLI default."""
         registry = MetricsRegistry()
-        return cls(
+        probes = cls(
             registry=registry,
             recorder=TimeSeriesRecorder(registry, interval=interval),
             tracer=PacketTracer(
@@ -77,6 +87,46 @@ class FabricProbes:
                 max_records=max_records, ring_size=ring_size,
             ),
         )
+        if anatomy:
+            probes.install_anatomy()
+        return probes
+
+    def install_anatomy(self, anatomy=None):
+        """Attach a :class:`~repro.obs.anatomy.LatencyAnatomy` (a default
+        one when *anatomy* is None), register its metric series, and
+        return it.  Pass ``None`` to :attr:`anatomy` directly to disable
+        decomposition again (registered series keep reporting the last
+        accumulated totals).  Idempotent when one is already installed
+        and none is passed (no duplicate metric collectors)."""
+        if anatomy is None:
+            if self._anatomy is not None:
+                return self._anatomy
+            from repro.obs.anatomy import LatencyAnatomy
+
+            anatomy = LatencyAnatomy()
+        self.anatomy = anatomy
+        anatomy.register_metrics(self.registry)
+        return anatomy
+
+    @property
+    def anatomy(self):
+        """The installed :class:`LatencyAnatomy`, or None."""
+        return self._anatomy
+
+    @anatomy.setter
+    def anatomy(self, value) -> None:
+        # The three queue hooks exist solely for the anatomy, so while
+        # one is installed they bind straight to its methods (instance
+        # attributes shadow the guarded class methods below) — one
+        # Python call per hop instead of two on the hottest probe path.
+        self._anatomy = value
+        if value is None:
+            for name in ("on_queue_join", "on_dequeue", "on_qos_dequeue"):
+                self.__dict__.pop(name, None)
+        else:
+            self.on_queue_join = value.queue_join
+            self.on_dequeue = value.dequeue  # qos defaults False
+            self.on_qos_dequeue = value.qos_dequeue
 
     # -- hot-path hooks (called by NetworkSimulator when installed) --------
 
@@ -93,6 +143,9 @@ class FabricProbes:
     def on_inject(self, packet, now: int) -> None:
         """Packet handed to the simulator (``send``)."""
         self.injections += 1
+        anatomy = self._anatomy
+        if anatomy is not None:
+            anatomy.inject(packet, now)
         tracer = self.tracer
         if tracer is not None and tracer.traced(packet.pid):
             tracer.hop(now, "inject", packet.pid, packet.src, packet.dst)
@@ -100,6 +153,9 @@ class FabricProbes:
     def on_arrive(self, node: int, packet, now: int) -> None:
         """Packet arrived at a router (terminal or transit)."""
         self.arrivals += 1
+        anatomy = self._anatomy
+        if anatomy is not None:
+            anatomy.arrive(packet, now)
         tracer = self.tracer
         if tracer is not None and tracer.traced(packet.pid):
             tracer.hop(now, "arrive", packet.pid, node, packet.dst)
@@ -119,27 +175,45 @@ class FabricProbes:
             tracer.hop(now, "enqueue", packet.pid, node, nxt, occ)
 
     def on_send(self, port, packet, now: int, tail: int) -> None:
-        """Packet started transmitting on a wire."""
+        """Packet started transmitting on a wire.
+
+        The anatomy needs no hook here: the dequeue hook fires on the
+        same transmission event and ``tail`` is deterministic from it
+        (``now + size_flits``), so its send half is folded in there.
+        """
         self.transmissions += 1
         tracer = self.tracer
         if tracer is not None and tracer.traced(packet.pid):
             tracer.hop(
-                now, "send", packet.pid, port.u, port.v, tail + port.lat - now
+                now, "send", packet.pid, port.u, port.v,
+                tail + port.lat - now,
+                depth=port.count, credit=port.credits[packet.vc],
             )
 
     def on_deliver(self, packet, now: int) -> None:
         """Packet ejected at its destination."""
         self.deliveries += 1
+        anatomy = self._anatomy
+        comps = None
+        if anatomy is not None:
+            comps = anatomy.deliver(packet, now)
         tracer = self.tracer
         if tracer is not None and tracer.traced(packet.pid):
             tracer.hop(
                 now, "deliver", packet.pid, packet.dst, packet.src,
                 now - packet.inject_time,
             )
+            if comps is not None:
+                tracer.components(
+                    packet.inject_time, packet.pid, packet.dst, comps
+                )
 
     def on_drop(self, packet, now: int) -> None:
         """Packet removed by fault machinery without delivery."""
         self.drops += 1
+        anatomy = self._anatomy
+        if anatomy is not None:
+            anatomy.drop(packet, now)
         tracer = self.tracer
         if tracer is not None and tracer.traced(packet.pid):
             tracer.hop(now, "drop", packet.pid, packet.src, packet.dst)
@@ -152,6 +226,24 @@ class FabricProbes:
             for queue in port.queues:
                 if queue and tracer.traced(queue[0][1].pid):
                     tracer.hop(now, "stall", queue[0][1].pid, port.u, port.v)
+
+    def on_queue_join(self, port, packet, ready: int, now: int) -> None:
+        """Packet entered an output queue; head-ready at *ready*."""
+        anatomy = self._anatomy
+        if anatomy is not None:
+            anatomy.queue_join(port, packet, ready, now)
+
+    def on_dequeue(self, port, packet, ready: int, now: int) -> None:
+        """Classless arbitration picked *packet* off its output queue."""
+        anatomy = self._anatomy
+        if anatomy is not None:
+            anatomy.dequeue(port, packet, ready, now, False)
+
+    def on_qos_dequeue(self, port, packet, ready: int, now: int) -> None:
+        """The QoS arbiter picked *packet* (priority bands + DRR)."""
+        anatomy = self._anatomy
+        if anatomy is not None:
+            anatomy.dequeue(port, packet, ready, now, True)
 
     # -- wiring ------------------------------------------------------------
 
@@ -349,4 +441,6 @@ class FabricProbes:
         if self.tracer is not None:
             out["trace_records"] = len(self.tracer.records)
             out["trace_dropped"] = self.tracer.dropped_records
+        if self.anatomy is not None:
+            out["anatomy"] = self.anatomy.summary()
         return out

@@ -45,7 +45,10 @@ class PacketTracer:
         self.fraction = fraction
         self.seed = seed
         self.max_records = max_records
-        #: ``(cycle, kind, pid, node, peer, extra)`` tuples, in order.
+        #: ``(cycle, kind, pid, node, peer, extra, depth, credit)``
+        #: tuples, in order.  ``depth`` is the output-queue occupancy
+        #: and ``credit`` the remaining VC credit at send time; both are
+        #: -1 on records where they do not apply.
         self.records: list[tuple] = []
         self.dropped_records = 0
         self.ring: deque = deque(maxlen=ring_size)
@@ -60,12 +63,36 @@ class PacketTracer:
     def hop(
         self, cycle: int, kind: str, pid: int,
         node: int = -1, peer: int = -1, extra: int = 0,
+        depth: int = -1, credit: int = -1,
     ) -> None:
         """Append one hop record (bounded by ``max_records``)."""
         if len(self.records) >= self.max_records:
             self.dropped_records += 1
             return
-        self.records.append((cycle, kind, pid, node, peer, extra))
+        self.records.append(
+            (cycle, kind, pid, node, peer, extra, depth, credit)
+        )
+
+    def components(
+        self, inject_time: int, pid: int, node: int, comps,
+    ) -> None:
+        """Record a delivered packet's delay decomposition as one
+        ``c:<name>`` record per nonzero component.
+
+        The records are laid end to end from *inject_time* in component
+        order, so the Chrome export shows a stacked per-component bar
+        whose total width is the packet's end-to-end latency — a
+        *composition* view (each slice's width is that component's
+        cycle count), not a timeline of when the cycles were spent.
+        """
+        from repro.obs.anatomy import COMPONENTS
+
+        start = inject_time
+        for name, cycles in zip(COMPONENTS, comps):
+            if not cycles:
+                continue
+            self.hop(start, f"c:{name}", pid, node, -1, cycles)
+            start += cycles
 
     def note_event(self, cycle: int, code: int) -> None:
         """Push one simulator event onto the post-mortem ring."""
@@ -81,14 +108,24 @@ class PacketTracer:
         ]
 
     def to_jsonl(self) -> str:
-        """One JSON object per hop record, newline-separated."""
-        lines = [
-            json.dumps({
+        """One JSON object per hop record, newline-separated.
+
+        ``depth``/``credit`` keys appear only on records that carry
+        them (send records), keeping the lines compact.
+        """
+        lines = []
+        for cycle, kind, pid, node, peer, extra, depth, credit in (
+            self.records
+        ):
+            row = {
                 "cycle": cycle, "kind": kind, "pid": pid,
                 "node": node, "peer": peer, "extra": extra,
-            })
-            for cycle, kind, pid, node, peer, extra in self.records
-        ]
+            }
+            if depth >= 0:
+                row["queue_depth"] = depth
+            if credit >= 0:
+                row["credit"] = credit
+            lines.append(json.dumps(row))
         return "\n".join(lines) + ("\n" if lines else "")
 
     def write_jsonl(self, path: str) -> None:
@@ -103,15 +140,20 @@ class PacketTracer:
         one simulated cycle to one microsecond, so durations read
         directly as cycles.  Each traced packet gets its own thread
         track named ``pkt <pid>``; ``send`` records (which carry the
-        wire-occupancy duration in ``extra``) become complete slices,
-        everything else becomes instant events.
+        wire-occupancy duration in ``extra``) become complete slices
+        annotated with queue depth and credit state, ``c:<component>``
+        records (the per-packet delay decomposition) become stacked
+        complete slices laid end to end from injection, and everything
+        else becomes instant events.
         """
         events: list[dict] = [{
             "ph": "M", "name": "process_name", "pid": 0, "tid": 0,
             "args": {"name": "repro-fabric"},
         }]
         seen_pids: set[int] = set()
-        for cycle, kind, pid, node, peer, extra in self.records:
+        for cycle, kind, pid, node, peer, extra, depth, credit in (
+            self.records
+        ):
             if pid not in seen_pids:
                 seen_pids.add(pid)
                 events.append({
@@ -120,10 +162,20 @@ class PacketTracer:
                 })
             args = {"node": node, "peer": peer}
             if kind == "send":
+                if depth >= 0:
+                    args["queue_depth"] = depth
+                if credit >= 0:
+                    args["credit"] = credit
                 events.append({
                     "name": f"{node}->{peer}", "cat": "hop", "ph": "X",
                     "ts": cycle, "dur": max(1, extra), "pid": 0, "tid": pid,
                     "args": args,
+                })
+            elif kind.startswith("c:"):
+                events.append({
+                    "name": kind[2:], "cat": "component", "ph": "X",
+                    "ts": cycle, "dur": max(1, extra), "pid": 0, "tid": pid,
+                    "args": {"cycles": extra},
                 })
             else:
                 if kind == "deliver":

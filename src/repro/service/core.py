@@ -194,6 +194,8 @@ class FabricService:
         max_retries: int = 8,
         qos: bool = False,
         tenant_classes: dict[str, int] | None = None,
+        slow_log_threshold: int | None = None,
+        slow_log_size: int = 256,
     ) -> None:
         from repro.core.reconfig import ReconfigurationManager
         from repro.core.routing import AdaptiveGreediestRouting
@@ -233,6 +235,8 @@ class FabricService:
             "tenant_classes": (
                 dict(tenant_classes) if tenant_classes else None
             ),
+            "slow_log_threshold": slow_log_threshold,
+            "slow_log_size": slow_log_size,
         }
         config = NetworkConfig(emergency_stall_threshold=16)
         topology = make_topology(
@@ -362,6 +366,18 @@ class FabricService:
         #: Installed observability probes (see :meth:`install_probes`);
         #: None keeps the service entirely uninstrumented.
         self.probes = None
+        #: Slow-request log: completed requests whose end-to-end latency
+        #: reached ``slow_log_threshold`` land here (bounded ring) with
+        #: a full delay breakdown when the anatomy is installed.  None
+        #: threshold disables the log entirely.
+        self.slow_log_threshold = slow_log_threshold
+        self.slow_log: deque[dict[str, Any]] = deque(
+            maxlen=max(1, slow_log_size)
+        )
+        self.slow_log_total = 0
+        #: Callback fired with each slow-request record as it is logged
+        #: (the daemon's ``--slow-log`` stream); None = ring only.
+        self.on_slow: Callable[[dict[str, Any]], None] | None = None
 
     # -- construction helpers ----------------------------------------------
 
@@ -679,7 +695,60 @@ class FabricService:
                 self._class_completed.get(request.tclass, 0) + 1
             )
             self._class_sketches[request.tclass].add(request.latency)
+        # Pop the anatomy's per-request network breakdown on *every*
+        # completion (not just slow ones) so the svc index never grows;
+        # failed/timed-out requests age out of its FIFO bound instead.
+        anatomy = self.probes.anatomy if self.probes is not None else None
+        network = (
+            anatomy.take_request(request.seq) if anatomy is not None else None
+        )
+        threshold = self.slow_log_threshold
+        if threshold is not None and request.latency >= threshold:
+            record = self._slow_record(request, now, network)
+            self.slow_log.append(record)
+            self.slow_log_total += 1
+            if self.on_slow is not None:
+                self.on_slow(record)
         self._finish(request, now, "done")
+
+    def _slow_record(
+        self,
+        request: ServiceRequest,
+        now: int,
+        network: dict[str, int] | None,
+    ) -> dict[str, Any]:
+        """One slow-request log line: identity + full delay anatomy.
+
+        ``admission`` is submit-to-inject (queue wait), the network
+        components come from the anatomy (summed over every request
+        leg), and ``dram`` is the exact remainder — DRAM service plus
+        any directory stall — so the parts always sum to ``latency``.
+        """
+        latency = request.latency or 0
+        admission = (
+            request.t_inject - request.t_submit
+            if request.t_inject is not None else 0
+        )
+        network_total = sum(network.values()) if network else 0
+        record: dict[str, Any] = {
+            "seq": request.seq,
+            "tenant": request.tenant,
+            "op": request.op,
+            "page": request.page,
+            "size": request.size,
+            "src_node": request.src_node,
+            "t_submit": request.t_submit,
+            "t_done": now,
+            "latency": latency,
+            "admission": admission,
+            "network": network_total,
+            "dram": latency - admission - network_total,
+        }
+        if network is not None:
+            record["components"] = network
+        if self._qos is not None:
+            record["tclass"] = self._qos.class_of(request.tclass).name
+        return record
 
     def _fail(self, request: ServiceRequest, now: int, reason: str) -> None:
         self.tenant(request.tenant).failed += 1
@@ -1003,17 +1072,21 @@ class FabricService:
             }
         return out
 
-    def install_probes(self, probes=None):
+    def install_probes(self, probes=None, anatomy: bool = True):
         """Attach observability probes across the whole service stack.
 
         Wires one :class:`repro.obs.FabricProbes` (a default instance
         when *probes* is None) into the simulator hot-path hooks and
         registers pull metrics for the fault detector, the migration
         engine/page directory, and the service-level counters and
-        tenant sketches.  Purely observational: requests, replay
+        tenant sketches.  ``anatomy=True`` (the default) also installs
+        the :class:`~repro.obs.anatomy.LatencyAnatomy` decomposition,
+        which is what gives slow-request records their per-component
+        network breakdown.  Purely observational: requests, replay
         digests, and ``SimStats`` stay bit-identical (the ``metrics``
         daemon verb installs these lazily on first scrape for exactly
-        that reason).  Returns the probes object.
+        that reason — packets already in flight at install time are
+        skipped whole by the anatomy).  Returns the probes object.
         """
         if probes is None:
             from repro.obs import FabricProbes
@@ -1023,6 +1096,8 @@ class FabricService:
         probes.attach_detector(self.detector)
         probes.attach_migration(self.engine, self.directory)
         probes.attach_service(self)
+        if anatomy:
+            probes.install_anatomy()
         self.probes = probes
         return probes
 
@@ -1061,6 +1136,15 @@ class FabricService:
                 "classes": self.class_summary(),
                 "tenant_classes": dict(self.tenant_classes),
             }
+        if self.slow_log_threshold is not None:
+            snap["slow_requests"] = {
+                "threshold": self.slow_log_threshold,
+                "total": self.slow_log_total,
+                "recent": list(self.slow_log)[-8:],
+            }
+        anatomy = self.probes.anatomy if self.probes is not None else None
+        if anatomy is not None:
+            snap["anatomy"] = anatomy.summary(top_k=3)
         return snap
 
     def digest(self) -> dict[str, Any]:

@@ -45,10 +45,21 @@ class FabricDaemon:
         host: str = "127.0.0.1",
         port: int = 0,
         quantum: int = 64,
+        slow_log_stream=None,
     ) -> None:
         if quantum < 1:
             raise ValueError(f"quantum must be >= 1, got {quantum}")
         self.service = service
+        if slow_log_stream is not None:
+            # Stream each slow-request record (identity + component
+            # breakdown) as one JSON line the moment it is logged —
+            # the ``repro serve --slow-log`` operator feed.  The ring
+            # in the service keeps the recent history either way.
+            def emit(record, stream=slow_log_stream):
+                stream.write(json.dumps(record, sort_keys=True) + "\n")
+                stream.flush()
+
+            service.on_slow = emit
         self.host = host
         self.port = port
         self.quantum = quantum

@@ -182,6 +182,9 @@ class InterferenceRunResult:
     run_end: int
     drained: bool
     samples: dict[int, list[int]]
+    #: Installed :class:`~repro.obs.anatomy.LatencyAnatomy` when the run
+    #: was launched with ``anatomy=True`` (None otherwise).
+    anatomy: Any = None
 
     def class_latency(self) -> dict[int, dict[str, float]]:
         """Per-class ``{count, p50, p99, mean}`` over measured packets."""
@@ -230,6 +233,8 @@ class InterferenceRunResult:
                 out[f"cls{cls}_p99"] = row["p99"]
         fg_p99 = out["fg_p99"]
         out["p99_ratio"] = out["bulk_p99"] / fg_p99 if fg_p99 else 0.0
+        if self.anatomy is not None:
+            out.update(self.anatomy.payload())
         return out
 
 
@@ -254,6 +259,7 @@ def run_interference(
     incast_degree: int = 16,
     incast_period: int = 64,
     instrument=None,
+    anatomy: bool = False,
 ) -> InterferenceRunResult:
     """One interference scenario, start to drain.
 
@@ -265,7 +271,10 @@ def run_interference(
     — the classless baseline where foreground and bulk collapse
     together.  ``instrument`` (if given) sees the freshly built
     simulator before any traffic or the QoS table, matching the other
-    workload runners.
+    workload runners.  ``anatomy=True`` installs a
+    :class:`~repro.obs.anatomy.LatencyAnatomy` (into the probes the
+    instrument installed, or fresh ones) and attaches it to the result
+    — the ``anatomy`` experiment kind and ``repro hotspots`` ride this.
     """
     if mode not in INTERFERENCE_MODES:
         raise ValueError(
@@ -276,6 +285,14 @@ def run_interference(
     sim = NetworkSimulator(topology, policy, config)
     if instrument is not None:
         instrument(sim)
+    anatomy_obj = None
+    if anatomy:
+        probes = sim._probes
+        if probes is None:
+            from repro.obs.probes import FabricProbes
+
+            probes = FabricProbes().attach_sim(sim)
+        anatomy_obj = probes.install_anatomy()
     if qos:
         sim.install_qos(classes if classes is not None else QoSConfig.default())
 
@@ -370,4 +387,5 @@ def run_interference(
         run_end=sim.now,
         drained=sim.stats.in_flight == 0,
         samples=samples,
+        anatomy=anatomy_obj,
     )

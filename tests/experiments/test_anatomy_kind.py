@@ -1,0 +1,80 @@
+"""The ``anatomy`` experiment kind: expansion, payload, report columns.
+
+An ``anatomy`` task is an interference run with the latency anatomy
+installed: the simulated results stay bit-identical to the plain
+``interference`` kind (instrumentation never schedules events), and
+the payload gains flat ``obs_``-prefixed decomposition fields that the
+sweep report surfaces as auto-columns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentSpec, ParallelRunner
+from repro.experiments.report import sweep_table
+from repro.experiments.worker import execute_task
+from repro.obs.anatomy import COMPONENTS
+
+SIM_PARAMS = {"warmup": 200, "measure": 600, "drain_limit": 60_000,
+              "mode": "incast"}
+
+
+def make_spec(**overrides):
+    params = dict(
+        name="anatomy-test",
+        kind="anatomy",
+        designs=("SF",),
+        nodes=(36,),
+        patterns=("uniform_random",),
+        rates=(0.2,),
+        seeds=(0,),
+        topology_seed=1,
+        sim_params=dict(SIM_PARAMS),
+    )
+    params.update(overrides)
+    return ExperimentSpec(**params)
+
+
+def test_kind_is_registered_and_requires_rates_and_patterns():
+    assert make_spec().tasks()
+    with pytest.raises(ValueError):
+        make_spec(rates=()).tasks()
+    with pytest.raises(ValueError):
+        make_spec(patterns=()).tasks()
+
+
+def test_grid_expansion_covers_axes():
+    tasks = make_spec(rates=(0.1, 0.3), seeds=(0, 1)).tasks()
+    assert len(tasks) == 4
+    assert all(t.kind == "anatomy" for t in tasks)
+
+
+def test_payload_carries_decomposition_fields():
+    payload = execute_task(make_spec().tasks()[0])
+    assert payload["obs_anatomy_conserved"] is True
+    assert payload["obs_anatomy_delivered"] > 0
+    fractions = [payload[f"obs_{name}_frac"] for name in COMPONENTS]
+    assert sum(fractions) == pytest.approx(1.0, abs=0.001)
+    assert "obs_hot_link_0" in payload
+
+
+def test_simulated_results_match_plain_interference():
+    """The anatomy kind never perturbs the run it is measuring."""
+    anatomy = execute_task(make_spec().tasks()[0])
+    plain = execute_task(make_spec(kind="interference").tasks()[0])
+    stripped = {k: v for k, v in anatomy.items() if not k.startswith("obs_")}
+    assert stripped == plain
+
+
+def test_payload_deterministic_across_runs():
+    task = make_spec().tasks()[0]
+    assert execute_task(task) == execute_task(task)
+
+
+def test_sweep_table_appends_obs_columns():
+    result = ParallelRunner(workers=1).run(make_spec())
+    table = sweep_table(result)
+    assert "anatomy_conserved" in table
+    assert "credit_stall_frac" in table
+    assert "hot_link_0" in table

@@ -1,0 +1,332 @@
+"""Latency anatomy: the exact conservation law + bit-identicality.
+
+Two families of guarantees:
+
+* **Conservation** — on every delivered packet, the component sums of
+  the delay decomposition equal the measured end-to-end latency
+  *exactly* (integers, no epsilon), across synthetic traffic, live
+  churn, unplanned faults (parking, retransmits, sweeps), and QoS
+  interference runs.  The aggregate face of the same law: per-class
+  latency totals equal the per-class component-column sums.
+* **Bit-identicality** — installing the anatomy (at construction or
+  mid-run) or tearing it out mid-run never changes the simulation:
+  ``SimStats`` digests match the bare run exactly.  Mid-run install
+  must also skip in-flight packets whole (``preinstall_skips``) rather
+  than fabricate partial breakdowns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.network.golden_grid import (
+    DRAIN,
+    GRID,
+    MEASURE,
+    WARMUP,
+    entry_key,
+    stats_digest,
+)
+
+FAST_GRID = [GRID[0], GRID[3]]
+
+
+def _probes(anatomy: bool = True):
+    from repro.obs import FabricProbes
+
+    return FabricProbes.full(
+        interval=64, fraction=0.05, ring_size=32, anatomy=anatomy,
+    )
+
+
+def _assert_conserved(anatomy) -> None:
+    """Both faces of the law: per-packet (violation counter) and the
+    per-class aggregate (latency totals == component-column sums)."""
+    assert anatomy.conserved(), anatomy.violation_examples
+    assert anatomy.delivered > 0
+    for totals in anatomy.class_totals.values():
+        assert totals[1] == sum(totals[2:])
+
+
+def _run_synthetic(probes):
+    from repro.topologies.registry import make_policy, make_topology
+    from repro.traffic.injection import run_synthetic
+    from repro.traffic.patterns import make_pattern
+
+    topo = make_topology("SF", 48, seed=0)
+    return run_synthetic(
+        topo, make_policy(topo),
+        make_pattern("uniform_random", topo.active_nodes), 0.2,
+        warmup=100, measure=800, drain_limit=40_000, seed=5,
+        instrument=None if probes is None else probes.attach_sim,
+    )
+
+
+class TestConservationLaw:
+    def test_synthetic(self):
+        probes = _probes()
+        stats = _run_synthetic(probes)
+        anatomy = probes.anatomy
+        _assert_conserved(anatomy)
+        assert anatomy.delivered == stats.delivered
+        totals = anatomy.component_totals()
+        # Every hop pays serdes+wire and occupies its wires, so these
+        # are structurally nonzero on any delivering run.
+        assert totals["wire"] > 0 and totals["serialization"] > 0
+
+    def test_under_churn(self):
+        from repro.topologies.registry import make_topology
+        from repro.workloads.churn import ChurnSchedule, run_churn
+
+        probes = _probes()
+        result = run_churn(
+            make_topology("SF", 48, seed=7),
+            pattern="uniform_random", rate=0.15,
+            schedule=ChurnSchedule.cycle(
+                gate_at=400, wake_at=800, fraction=0.25,
+            ),
+            warmup=100, measure=1200, drain_limit=100_000, seed=7,
+            instrument=probes.attach_sim,
+        )
+        _assert_conserved(probes.anatomy)
+        assert result.payload()["num_events"] >= 1
+
+    def test_under_faults_with_parking(self):
+        """Hangs/crashes park and re-route packets: the detour cycles
+        must land in ``requeue`` and the sums must stay exact."""
+        from repro.topologies.registry import make_topology
+        from repro.workloads.faults import run_faults
+
+        probes = _probes()
+        result = run_faults(
+            make_topology("SF", 64, seed=0), rate=0.15, seed=3,
+            instrument=probes.attach_sim,
+        )
+        anatomy = probes.anatomy
+        _assert_conserved(anatomy)
+        assert result.payload()["num_faults"] >= 1
+        assert anatomy.component_totals()["requeue"] > 0
+
+    def test_qos_interference_attribution(self):
+        """Under a class table, cross-class blocking is charged to
+        ``arbitration`` — and equals the off-diagonal interference
+        matrix exactly (same cycles, two views)."""
+        from repro.topologies.registry import make_topology
+        from repro.workloads.interference import run_interference
+
+        result = run_interference(
+            make_topology("SF", 64, seed=0),
+            mode="incast", rate=0.3, fg_rate=0.05, qos=True,
+            warmup=200, measure=1000, seed=1, anatomy=True,
+        )
+        anatomy = result.anatomy
+        _assert_conserved(anatomy)
+        cross = sum(
+            cycles
+            for i, row in anatomy.hotspots.matrix.items()
+            for j, cycles in row.items()
+            if i != j
+        )
+        assert anatomy.component_totals()["arbitration"] == cross
+        assert cross > 0  # the scenario actually interfered
+
+    def test_classless_run_has_no_arbitration(self):
+        """Without a table every covered wait is queueing; the matrix
+        still records who blocked whom (tags ride along regardless)."""
+        from repro.topologies.registry import make_topology
+        from repro.workloads.interference import run_interference
+
+        result = run_interference(
+            make_topology("SF", 64, seed=0),
+            mode="incast", rate=0.3, fg_rate=0.05, qos=False,
+            warmup=200, measure=1000, seed=1, anatomy=True,
+        )
+        anatomy = result.anatomy
+        _assert_conserved(anatomy)
+        assert anatomy.component_totals()["arbitration"] == 0
+        assert anatomy.hotspots.matrix  # attribution still recorded
+
+    def test_payload_fractions_sum_to_one(self):
+        from repro.topologies.registry import make_topology
+        from repro.workloads.interference import run_interference
+
+        result = run_interference(
+            make_topology("SF", 48, seed=0),
+            mode="noise", rate=0.2, warmup=100, measure=600,
+            anatomy=True,
+        )
+        payload = result.payload()
+        assert payload["obs_anatomy_conserved"] is True
+        from repro.obs.anatomy import COMPONENTS
+
+        total = sum(payload[f"obs_{name}_frac"] for name in COMPONENTS)
+        assert total == pytest.approx(1.0, abs=0.001)
+
+
+def _manual_stats(probes=None, mutate=None):
+    """A synthetic run driven through explicit run() boundaries so a
+    test can flip observability state at a quiescent midpoint without
+    touching the event heap (scheduling anything would itself change
+    sequence allocation and void the comparison)."""
+    from repro.network.simulator import NetworkSimulator
+    from repro.topologies.registry import make_policy, make_topology
+    from repro.traffic.injection import BernoulliInjector
+    from repro.traffic.patterns import make_pattern
+
+    topo = make_topology("SF", 48, seed=0)
+    sim = NetworkSimulator(topo, make_policy(topo))
+    if probes is not None:
+        probes.attach_sim(sim)
+    injector = BernoulliInjector(
+        sim, make_pattern("uniform_random", topo.active_nodes), 0.2,
+        warmup=100, measure=800, seed=5,
+    )
+    injector.start()
+    sim.run(until=450)
+    if mutate is not None:
+        mutate(probes)
+    sim.run(until=900)
+    sim.run(until=40_000)
+    sim.stats.measure_cycles = 800
+    return sim.stats
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize(
+        "design,nodes,pattern,rate,seed,cfg",
+        FAST_GRID,
+        ids=[entry_key(*entry[:5]) for entry in FAST_GRID],
+    )
+    def test_anatomy_probes_match_bare(
+        self, design, nodes, pattern, rate, seed, cfg,
+    ):
+        from repro.network.config import NetworkConfig
+        from repro.topologies.registry import make_policy, make_topology
+        from repro.traffic.injection import run_synthetic
+        from repro.traffic.patterns import make_pattern
+
+        def run(probes):
+            topo = make_topology(design, nodes, seed=0)
+            return run_synthetic(
+                topo, make_policy(topo),
+                make_pattern(pattern, topo.active_nodes), rate,
+                config=NetworkConfig(**cfg) if cfg else None,
+                warmup=WARMUP, measure=MEASURE, drain_limit=DRAIN,
+                seed=seed,
+                instrument=None if probes is None else probes.attach_sim,
+            )
+
+        assert stats_digest(run(None)) == stats_digest(run(_probes()))
+
+    def test_disable_mid_run_matches_bare(self):
+        bare = _manual_stats()
+
+        def disable(probes):
+            probes.anatomy = None
+
+        probes = _probes()
+        probed = _manual_stats(probes, mutate=disable)
+        assert stats_digest(bare) == stats_digest(probed)
+        # The half-run anatomy kept whatever it finalized before the
+        # disable — and all of it conserved.
+        assert probes.anatomy is None
+
+    def test_install_mid_run_matches_bare_and_skips_inflight(self):
+        bare = _manual_stats()
+
+        def install(probes):
+            probes.install_anatomy()
+
+        probes = _probes(anatomy=False)
+        probed = _manual_stats(probes, mutate=install)
+        assert stats_digest(bare) == stats_digest(probed)
+        anatomy = probes.anatomy
+        assert anatomy.conserved(), anatomy.violation_examples
+        assert anatomy.delivered > 0
+        # Packets injected before the install carry no state and must
+        # be skipped whole, not decomposed from a partial lifecycle.
+        assert anatomy.preinstall_skips > 0
+
+
+class TestTracerComponents:
+    def test_component_slices_sum_to_latency(self):
+        """With every packet traced, each delivered pid's ``c:`` records
+        sum to its ``deliver`` record's latency."""
+        from repro.obs import FabricProbes
+
+        probes = FabricProbes.full(fraction=1.0, anatomy=True)
+        _run_synthetic(probes)
+        by_pid: dict[int, dict[str, int]] = {}
+        for record in probes.tracer.records:
+            kind, pid, extra = record[1], record[2], record[5]
+            row = by_pid.setdefault(pid, {"components": 0, "latency": None})
+            if kind.startswith("c:"):
+                row["components"] += extra
+            elif kind == "deliver":
+                row["latency"] = extra
+        checked = 0
+        for pid, row in by_pid.items():
+            if row["latency"] is not None:
+                assert row["components"] == row["latency"], pid
+                checked += 1
+        assert checked > 0
+
+    def test_chrome_trace_has_component_slices(self):
+        from repro.obs import FabricProbes
+
+        probes = FabricProbes.full(fraction=1.0, anatomy=True)
+        _run_synthetic(probes)
+        trace = probes.tracer.chrome_trace()
+        comp = [
+            e for e in trace["traceEvents"]
+            if e.get("cat") == "component"
+        ]
+        assert comp and all(e["ph"] == "X" for e in comp)
+        sends = [
+            e for e in trace["traceEvents"]
+            if e.get("cat") == "hop" and e["ph"] == "X"
+        ]
+        # Satellite: send slices carry queue depth + credit state.
+        assert sends and all(
+            "queue_depth" in e["args"] and "credit" in e["args"]
+            for e in sends
+        )
+
+
+class TestHotspotAggregator:
+    def test_accumulators_and_csv(self):
+        from repro.obs.hotspots import HotspotAggregator
+
+        agg = HotspotAggregator()
+        link = agg.link(3, 7)
+        assert agg.link(3, 7) is link  # stable per directed link
+        agg.note_enqueue(link, 2)
+        agg.note_enqueue(link, 5)
+        agg.note_wait(link, 10)
+        agg.note_wait(link, 0)
+        other = agg.link(7, 3)
+        agg.note_enqueue(other, 1)
+        agg.note_wait(other, 4)
+        top = agg.top_links(8)
+        assert [(e.u, e.v) for e in top] == [(3, 7), (7, 3)]
+        assert top[0].wait_cycles == 10 and top[0].dequeues == 2
+        csv = agg.links_csv().splitlines()
+        assert csv[0] == ",".join(HotspotAggregator.CSV_FIELDS)
+        assert len(csv) == 3
+        rollup = agg.router_rollup(8)
+        assert rollup[0]["router"] == 3
+        assert rollup[0]["wait_cycles"] == 10
+
+    def test_interference_matrix_labels(self):
+        from repro.obs.hotspots import HotspotAggregator
+
+        agg = HotspotAggregator()
+        agg.note_blocking(0, 1, 25)
+        agg.note_blocking(0, 1, 5)
+        agg.note_blocking(1, 1, 7)
+        table = agg.matrix_table({0: "latency", 1: "bulk"})
+        assert table == {
+            "latency": {"bulk": 30},
+            "bulk": {"bulk": 7},
+        }
+        assert agg.matrix_table()["cls0"]["cls1"] == 30

@@ -154,3 +154,71 @@ class TestDaemonMetricsVerb:
 
     def test_scrape_installs_probes_lazily(self):
         self._scrape(pre_install=False)
+
+
+class TestTraceAnatomy:
+    def test_emits_anatomy_artifacts_and_gates_on_conservation(
+        self, tmp_path, capsys,
+    ):
+        assert _run_trace(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "latency anatomy:" in out
+        assert re.search(r"conservation:\s+ok", out)
+        (anatomy_path,) = tmp_path.glob("*.anatomy.json")
+        body = json.loads(anatomy_path.read_text())
+        assert body["conserved"] is True
+        assert body["delivered"] > 0
+        assert body["component_totals"]["wire"] > 0
+        assert body["hotspots"]["links_tracked"] > 0
+        (csv_path,) = tmp_path.glob("*.links.csv")
+        lines = csv_path.read_text().splitlines()
+        assert lines[0].startswith("u,v,enqueues,")
+        assert len(lines) == body["hotspots"]["links_tracked"] + 1
+
+    def test_summary_payload_carries_obs_fields(self, tmp_path):
+        assert _run_trace(tmp_path) == 0
+        (summary_path,) = tmp_path.glob("*.summary.json")
+        payload = json.loads(summary_path.read_text())["payload"]
+        assert payload["obs_anatomy_conserved"] is True
+        assert "obs_wire_frac" in payload
+
+    def test_no_anatomy_suppresses_artifacts(self, tmp_path, capsys):
+        assert _run_trace(tmp_path, "--no-anatomy") == 0
+        out = capsys.readouterr().out
+        assert "latency anatomy:" not in out
+        assert not list(tmp_path.glob("*.anatomy.json"))
+        assert not list(tmp_path.glob("*.links.csv"))
+
+
+class TestHotspotsCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["hotspots"])
+        assert args.design == "SF"
+        assert args.mode == "incast"
+        assert args.no_qos is False
+        assert args.top == 8
+
+    def test_reports_and_writes_artifacts(self, tmp_path, capsys):
+        out_json = tmp_path / "hot.json"
+        out_csv = tmp_path / "links.csv"
+        rc = main([
+            "hotspots", "--nodes", "48", "--rate", "0.25",
+            "--warmup", "100", "--measure", "600",
+            "--output", str(out_json), "--links-csv", str(out_csv),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "conservation: ok" in out
+        assert "blocked\\behind" in out
+        body = json.loads(out_json.read_text())
+        assert body["conserved"] is True
+        assert body["hotspots"]["top_links"]
+        assert out_csv.read_text().startswith("u,v,")
+
+    def test_classless_mode(self, capsys):
+        rc = main([
+            "hotspots", "--nodes", "48", "--rate", "0.25", "--no-qos",
+            "--warmup", "100", "--measure", "600",
+        ])
+        assert rc == 0
+        assert "conservation: ok" in capsys.readouterr().out

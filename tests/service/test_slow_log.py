@@ -1,0 +1,139 @@
+"""Slow-request log: exact decomposition, bounded ring, operator feed."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.service.core import FabricService
+from repro.service.daemon import FabricDaemon
+
+
+def slow_service(threshold: int = 1, **overrides):
+    params = dict(
+        nodes=36, design="SF", footprint_pages=64,
+        slow_log_threshold=threshold,
+    )
+    params.update(overrides)
+    svc = FabricService(**params)
+    svc.install_probes()
+    return svc
+
+
+def run_traffic(svc, n: int = 30) -> None:
+    for i in range(n):
+        svc.submit(f"t{i % 3}", "read" if i % 2 else "write", i % 64)
+        svc.advance(7)
+    svc.advance(10_000)
+
+
+class TestSlowRecords:
+    def test_threshold_one_logs_every_completion(self):
+        svc = slow_service(threshold=1)
+        run_traffic(svc)
+        assert svc.slow_log_total == svc.snapshot()["completed"]
+        assert svc.slow_log_total > 0
+
+    def test_high_threshold_logs_nothing(self):
+        svc = slow_service(threshold=10**9)
+        run_traffic(svc)
+        assert svc.slow_log_total == 0
+        assert list(svc.slow_log) == []
+
+    def test_no_threshold_disables_logging(self):
+        svc = slow_service(threshold=None)
+        run_traffic(svc)
+        assert svc.slow_log_total == 0
+        assert "slow_requests" not in svc.snapshot()
+
+    def test_parts_sum_to_latency_exactly(self):
+        """The headline guarantee: ``admission + network + dram ==
+        latency`` on every record, with the network side itself the
+        exact sum of its anatomy components."""
+        svc = slow_service(threshold=1)
+        run_traffic(svc)
+        with_components = 0
+        for record in svc.slow_log:
+            assert (
+                record["admission"] + record["network"] + record["dram"]
+                == record["latency"]
+            ), record
+            # Requests served by the home node itself have no network
+            # legs and therefore no component dict; the rest must sum.
+            if "components" in record:
+                with_components += 1
+                assert record["network"] == sum(
+                    record["components"].values()
+                )
+            else:
+                assert record["network"] == 0
+        assert with_components > 0
+
+    def test_without_probes_still_decomposes(self):
+        # No anatomy installed: network reads 0 and dram absorbs the
+        # whole post-admission remainder — the sum stays exact.
+        svc = FabricService(
+            nodes=36, footprint_pages=64, slow_log_threshold=1,
+        )
+        run_traffic(svc)
+        assert svc.slow_log_total > 0
+        for record in svc.slow_log:
+            assert "components" not in record
+            assert record["network"] == 0
+            assert (
+                record["admission"] + record["dram"] == record["latency"]
+            )
+
+    def test_ring_is_bounded(self):
+        svc = slow_service(threshold=1, slow_log_size=4)
+        run_traffic(svc, n=30)
+        assert svc.slow_log_total > 4
+        assert len(svc.slow_log) == 4
+
+    def test_on_slow_fires_per_record(self):
+        svc = slow_service(threshold=1)
+        seen: list[dict] = []
+        svc.on_slow = seen.append
+        run_traffic(svc)
+        assert len(seen) == svc.slow_log_total
+        assert seen[-1] == list(svc.slow_log)[-1]
+
+    def test_records_json_safe_and_identified(self):
+        svc = slow_service(threshold=1)
+        run_traffic(svc)
+        record = json.loads(json.dumps(list(svc.slow_log)[0]))
+        for key in ("seq", "tenant", "op", "page", "t_submit", "t_done",
+                    "latency", "admission", "network", "dram"):
+            assert key in record, key
+
+
+class TestSnapshotAndConfig:
+    def test_snapshot_exposes_slow_block(self):
+        svc = slow_service(threshold=1, slow_log_size=16)
+        run_traffic(svc)
+        block = svc.snapshot()["slow_requests"]
+        assert block["threshold"] == 1
+        assert block["total"] == svc.slow_log_total
+        assert 0 < len(block["recent"]) <= 8
+
+    def test_threshold_round_trips_through_config(self):
+        svc = slow_service(threshold=42, slow_log_size=7)
+        clone = FabricService.from_config(svc.config_dict())
+        assert clone.slow_log_threshold == 42
+        assert clone.slow_log.maxlen == 7
+
+
+class TestDaemonStream:
+    def test_stream_gets_one_json_line_per_slow_request(self):
+        svc = slow_service(threshold=1)
+        stream = io.StringIO()
+        FabricDaemon(svc, slow_log_stream=stream)
+        run_traffic(svc, n=10)
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == svc.slow_log_total
+        for line in lines:
+            record = json.loads(line)
+            assert (
+                record["admission"] + record["network"] + record["dram"]
+                == record["latency"]
+            )
